@@ -1,0 +1,298 @@
+// Package cross is a Go reproduction of "Leveraging ASIC AI Chips for
+// Homomorphic Encryption" (HPCA 2026): the CROSS compiler framework
+// that maps CKKS homomorphic-encryption kernels onto TPU-class AI
+// accelerators via Basis-Aligned Transformation (BAT, high-precision
+// modular arithmetic → dense INT8 matrix multiplication) and
+// Memory-Aligned Transformation (MAT, offline-embedded data
+// reorderings → layout-invariant kernels).
+//
+// The public API has three layers:
+//
+//   - HE layer: Context bundles a full functional RNS-CKKS instance
+//     (encode → encrypt → evaluate → decrypt), running bit-exactly on
+//     the CPU.
+//   - Compiler layer: Compiler lowers HE kernels onto a simulated TPU
+//     tensor core (Device) and reports per-kernel latency and
+//     per-category breakdowns, reproducing the paper's evaluation.
+//   - Experiments layer: Experiment/AllExperiments regenerate every
+//     table and figure of the paper's §V with paper-vs-measured rows.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction results.
+package cross
+
+import (
+	"fmt"
+
+	"cross/internal/bat"
+	"cross/internal/ckks"
+	icross "cross/internal/cross"
+	"cross/internal/harness"
+	"cross/internal/mat"
+	"cross/internal/modarith"
+	"cross/internal/ring"
+	"cross/internal/tpusim"
+	"cross/internal/workload"
+)
+
+// ---- Compiler layer ----
+
+// Params is a CKKS security/performance configuration (paper Tab. IV).
+type Params = icross.Params
+
+// Compiler lowers HE kernels onto a simulated TPU core.
+type Compiler = icross.Compiler
+
+// Device is one simulated TPU tensor core.
+type Device = tpusim.Device
+
+// DeviceSpec describes a TPU generation.
+type DeviceSpec = tpusim.Spec
+
+// ReduceAlgorithm selects the modular-reduction flavour (Fig. 13).
+type ReduceAlgorithm = modarith.ReduceAlgorithm
+
+// Reduction algorithms.
+const (
+	Barrett    = modarith.Barrett
+	Montgomery = modarith.Montgomery
+	Shoup      = modarith.Shoup
+	BATLazy    = modarith.BATLazy
+)
+
+// Parameter sets from the paper's Tab. IV.
+var (
+	SetA = icross.SetA
+	SetB = icross.SetB
+	SetC = icross.SetC
+	SetD = icross.SetD
+)
+
+// TPU generation specs (Tab. IV).
+var (
+	TPUv4  = tpusim.TPUv4
+	TPUv5e = tpusim.TPUv5e
+	TPUv5p = tpusim.TPUv5p
+	TPUv6e = tpusim.TPUv6e
+)
+
+// NewDevice instantiates a simulated tensor core.
+func NewDevice(spec DeviceSpec) *Device { return tpusim.NewDevice(spec) }
+
+// NewCompiler builds a CROSS compiler for a device and parameter set.
+func NewCompiler(dev *Device, p Params) (*Compiler, error) { return icross.New(dev, p) }
+
+// ---- HE layer ----
+
+// Context bundles the functional CKKS instance: parameters, keys,
+// encoder, encryptor, decryptor and evaluator.
+type Context struct {
+	Params    *ckks.Parameters
+	Encoder   *ckks.Encoder
+	Encryptor *ckks.Encryptor
+	Decryptor *ckks.Decryptor
+	Evaluator *ckks.Evaluator
+
+	sk *ckks.SecretKey
+	kg *ckks.KeyGenerator
+}
+
+// Ciphertext is an encrypted slot vector.
+type Ciphertext = ckks.Ciphertext
+
+// Plaintext is an encoded slot vector.
+type Plaintext = ckks.Plaintext
+
+// LinearTransform is a BSGS-evaluated plaintext linear map over slots.
+type LinearTransform = ckks.LinearTransform
+
+// Evaluator executes CKKS operators (exposed for its full method set:
+// Add, MulRelin, Rescale, Rotate, RotateHoisted, EvalPoly, InnerSum,
+// EvalLinearTransform, ...).
+type Evaluator = ckks.Evaluator
+
+// InnerSumRotations lists the rotation keys Evaluator.InnerSum needs.
+func InnerSumRotations(step, count int) []int { return ckks.InnerSumRotations(step, count) }
+
+// ContextOptions configures NewContext.
+type ContextOptions struct {
+	LogN     int   // ring degree exponent (default 12)
+	LogScale uint  // bits per prime / scale (default 28, the paper's)
+	Limbs    int   // ciphertext modulus chain length (default 6)
+	Dnum     int   // key-switching digits (default 3)
+	Seed     int64 // PRNG seed (default 1)
+	// Rotations lists the slot rotations to generate Galois keys for;
+	// conjugation is always included when any rotation is requested.
+	Rotations []int
+}
+
+func (o *ContextOptions) fill() {
+	if o.LogN == 0 {
+		o.LogN = 12
+	}
+	if o.LogScale == 0 {
+		o.LogScale = 28
+	}
+	if o.Limbs == 0 {
+		o.Limbs = 6
+	}
+	if o.Dnum == 0 {
+		o.Dnum = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// NewContext creates a ready-to-use CKKS context with fresh keys.
+func NewContext(opts ContextOptions) (*Context, error) {
+	opts.fill()
+	p, err := ckks.NewParameters(opts.LogN, opts.LogScale, opts.Limbs, opts.Dnum)
+	if err != nil {
+		return nil, err
+	}
+	kg := ckks.NewKeyGenerator(p, opts.Seed)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinearizationKey(sk)
+
+	var gks map[uint64]*ckks.GaloisKey
+	if len(opts.Rotations) > 0 {
+		gks, err = kg.GenRotationKeys(sk, opts.Rotations)
+		if err != nil {
+			return nil, err
+		}
+		conj, err := kg.GenGaloisKey(sk, p.RingQP.GaloisElementForConjugation())
+		if err != nil {
+			return nil, err
+		}
+		gks[conj.GaloisEl] = conj
+	}
+
+	return &Context{
+		Params:    p,
+		Encoder:   ckks.NewEncoder(p),
+		Encryptor: ckks.NewEncryptor(p, pk, opts.Seed+1),
+		Decryptor: ckks.NewDecryptor(p, sk),
+		Evaluator: ckks.NewEvaluator(p, rlk, gks),
+		sk:        sk,
+		kg:        kg,
+	}, nil
+}
+
+// Slots returns the number of complex plaintext slots.
+func (c *Context) Slots() int { return c.Params.Slots() }
+
+// EncryptValues encodes and encrypts a slot vector in one call.
+func (c *Context) EncryptValues(values []complex128) (*Ciphertext, error) {
+	pt, err := c.Encoder.Encode(values)
+	if err != nil {
+		return nil, err
+	}
+	return c.Encryptor.Encrypt(pt), nil
+}
+
+// DecryptValues decrypts and decodes a ciphertext in one call.
+func (c *Context) DecryptValues(ct *Ciphertext) []complex128 {
+	return c.Encoder.Decode(c.Decryptor.Decrypt(ct))
+}
+
+// MulRescale multiplies two ciphertexts, relinearises, and rescales.
+func (c *Context) MulRescale(a, b *Ciphertext) (*Ciphertext, error) {
+	prod, err := c.Evaluator.MulRelin(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return c.Evaluator.Rescale(prod)
+}
+
+// ---- BAT / MAT building blocks (for downstream compiler users) ----
+
+// ScalarPlan is the dense K×K BAT matrix of one pre-known scalar.
+type ScalarPlan = bat.ScalarPlan
+
+// MatMulPlan is the compiled BAT form of a ModMatMul with pre-known
+// left operand.
+type MatMulPlan = bat.MatMulPlan
+
+// Permutation is MAT's reordering representation.
+type Permutation = mat.Permutation
+
+// Modulus is a prime modulus with precomputed reduction constants.
+type Modulus = modarith.Modulus
+
+// NewModulus validates and precomputes a prime modulus.
+func NewModulus(q uint64) (*Modulus, error) { return modarith.NewModulus(q) }
+
+// CompileScalarBAT compiles a pre-known scalar into its dense BAT form
+// (Alg. 2 DIRECTSCALARBAT).
+func CompileScalarBAT(m *Modulus, a uint64) (*ScalarPlan, error) {
+	return bat.DirectScalarBAT(m, a)
+}
+
+// CompileMatMulBAT compiles a pre-known H×V left matrix for BAT
+// ModMatMul (Alg. 2 OFFLINECOMPILELEFT).
+func CompileMatMulBAT(m *Modulus, a []uint64, h, v int) (*MatMulPlan, error) {
+	return bat.OfflineCompileLeft(m, a, h, v)
+}
+
+// MatNTTPlan is the layout-invariant 3-step NTT (MAT, Fig. 10).
+type MatNTTPlan = ring.MatNTTPlan
+
+// Ring is the negacyclic polynomial ring substrate.
+type Ring = ring.Ring
+
+// NewRing constructs R_q = Z_q[x]/(x^N+1) over an NTT-friendly prime
+// chain.
+func NewRing(n int, primes []uint64) (*Ring, error) { return ring.NewRing(n, primes) }
+
+// NTTFriendlyPrimes generates `count` primes of the given bit size with
+// q ≡ 1 mod 2n.
+func NTTFriendlyPrimes(bitSize uint, n uint64, count int) ([]uint64, error) {
+	return modarith.GenerateNTTPrimes(bitSize, n, count)
+}
+
+// NewMatNTTPlan compiles the layout-invariant 3-step NTT for a ring and
+// (R, C) split; order is LayoutDigitSwap (zero reordering) or
+// LayoutBitRev (radix-2-compatible output).
+func NewMatNTTPlan(r *Ring, rr, cc int, order ring.Layout) (*MatNTTPlan, error) {
+	return ring.NewMatNTTPlan(r, rr, cc, order)
+}
+
+// NTT output layouts.
+const (
+	LayoutNatural   = ring.LayoutNatural
+	LayoutBitRev    = ring.LayoutBitRev
+	LayoutDigitSwap = ring.LayoutDigitSwap
+)
+
+// ---- Experiments layer ----
+
+// Experiment is one regenerated table or figure.
+type Experiment = harness.Report
+
+// AllExperiments regenerates the paper's full evaluation section.
+func AllExperiments() []Experiment { return harness.AllReports() }
+
+// ExperimentByID regenerates one experiment ("Table V" … "Fig 14").
+func ExperimentByID(id string) (Experiment, error) {
+	r, ok := harness.ReportByID(id)
+	if !ok {
+		return Experiment{}, fmt.Errorf("cross: unknown experiment %q (have %v)", id, harness.IDs())
+	}
+	return r, nil
+}
+
+// ExperimentIDs lists the available experiment identifiers.
+func ExperimentIDs() []string { return harness.IDs() }
+
+// EstimateMNIST estimates the §V-D MNIST CNN latency on a compiler.
+func EstimateMNIST(c *Compiler) (total, perImage float64) {
+	return workload.EstimateMNIST(c)
+}
+
+// EstimateHELR estimates one §V-D logistic-regression iteration.
+func EstimateHELR(c *Compiler) float64 { return workload.EstimateHELR(c) }
+
+// MNISTParams returns the paper's MNIST HE configuration.
+func MNISTParams() Params { return workload.MNISTParams() }

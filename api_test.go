@@ -1,0 +1,176 @@
+package cross
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestContextEndToEnd(t *testing.T) {
+	ctx, err := NewContext(ContextOptions{LogN: 10, Limbs: 4, Rotations: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	z1 := make([]complex128, ctx.Slots())
+	z2 := make([]complex128, ctx.Slots())
+	for i := range z1 {
+		z1[i] = complex(rng.Float64(), rng.Float64())
+		z2[i] = complex(rng.Float64(), rng.Float64())
+	}
+	ct1, err := ctx.EncryptValues(z1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := ctx.EncryptValues(z2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sum, err := ctx.Evaluator.Add(ct1, ct2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ctx.DecryptValues(sum)
+	for i := range z1 {
+		if cmplx.Abs(got[i]-(z1[i]+z2[i])) > 1e-4 {
+			t.Fatalf("slot %d add error", i)
+		}
+	}
+
+	prod, err := ctx.MulRescale(ct1, ct2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = ctx.DecryptValues(prod)
+	for i := range z1 {
+		if cmplx.Abs(got[i]-z1[i]*z2[i]) > 1e-2 {
+			t.Fatalf("slot %d mul error %g", i, cmplx.Abs(got[i]-z1[i]*z2[i]))
+		}
+	}
+
+	rot, err := ctx.Evaluator.Rotate(ct1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = ctx.DecryptValues(rot)
+	for i := range z1 {
+		if cmplx.Abs(got[i]-z1[(i+2)%len(z1)]) > 1e-2 {
+			t.Fatalf("slot %d rotate error", i)
+		}
+	}
+}
+
+func TestContextDefaults(t *testing.T) {
+	ctx, err := NewContext(ContextOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Slots() != 1<<11 {
+		t.Errorf("default slots = %d", ctx.Slots())
+	}
+	if ctx.Params.MaxLevel() != 5 {
+		t.Errorf("default max level = %d", ctx.Params.MaxLevel())
+	}
+}
+
+func TestCompilerFacade(t *testing.T) {
+	c, err := NewCompiler(NewDevice(TPUv6e()), SetD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := c.MeasureHEOps()
+	if ops.Mult <= ops.Add {
+		t.Error("mult should dominate add")
+	}
+	if _, err := NewCompiler(NewDevice(TPUv4()), Params{}); err == nil {
+		t.Error("expected validation error for zero params")
+	}
+}
+
+func TestBATFacade(t *testing.T) {
+	m, err := NewModulus(268369921)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := CompileScalarBAT(m, 123456)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := plan.Mul(654321), m.MulMod(123456, 654321); got != want {
+		t.Fatalf("facade BAT mul = %d want %d", got, want)
+	}
+	mm, err := CompileMatMulBAT(m, []uint64{1, 2, 3, 4}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := mm.Mul([]uint64{5, 6, 7, 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != m.AddMod(m.MulMod(1, 5), m.MulMod(2, 7)) {
+		t.Error("facade matmul wrong")
+	}
+}
+
+func TestRingFacade(t *testing.T) {
+	primes, err := NTTFriendlyPrimes(28, 256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(256, primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewMatNTTPlan(r, 16, 16, LayoutBitRev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]uint64, 256)
+	in[1] = 42
+	out := make([]uint64, 256)
+	plan.ForwardLimb(0, in, out)
+	want := append([]uint64(nil), in...)
+	r.NTTLimb(0, want)
+	for i := range out {
+		if out[i] != want[i] {
+			t.Fatal("facade NTT != radix-2 NTT")
+		}
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(ids))
+	}
+	exp, err := ExperimentByID("Table V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(exp.Notes, "VIOLATED") {
+		t.Errorf("Table V violated: %s", exp.Notes)
+	}
+	if _, err := ExperimentByID("nope"); err == nil {
+		t.Error("expected unknown-experiment error")
+	}
+}
+
+func TestWorkloadFacade(t *testing.T) {
+	c, err := NewCompiler(NewDevice(TPUv6e()), MNISTParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, perImage := EstimateMNIST(c)
+	if total <= 0 || perImage <= 0 || total < perImage {
+		t.Error("MNIST estimate degenerate")
+	}
+	cD, err := NewCompiler(NewDevice(TPUv6e()), SetD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if EstimateHELR(cD) <= 0 {
+		t.Error("HELR estimate degenerate")
+	}
+}

@@ -1,0 +1,50 @@
+// Command crossbench regenerates the paper's evaluation section: every
+// table and figure of §V, with paper-reported values printed next to
+// the reproduction's measurements.
+//
+// Usage:
+//
+//	crossbench                 # run everything (paper order)
+//	crossbench -list           # list experiment identifiers
+//	crossbench -experiment id  # run one experiment ("Table V", "fig11b", …)
+//
+// Run with: go run ./cmd/crossbench [flags]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cross"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment identifiers and exit")
+	experiment := flag.String("experiment", "", "run a single experiment by identifier")
+	flag.Parse()
+
+	if *list {
+		for _, id := range cross.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	if *experiment != "" {
+		exp, err := cross.ExperimentByID(*experiment)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(exp.String())
+		return
+	}
+
+	fmt.Println("CROSS reproduction — regenerating the paper's evaluation (§V)")
+	fmt.Println("simulated TPU latencies are model estimates; compare shapes, not absolutes")
+	fmt.Println()
+	for _, exp := range cross.AllExperiments() {
+		fmt.Println(exp.String())
+	}
+}

@@ -1,0 +1,76 @@
+// Command crossprof prints Fig. 12-style latency breakdowns for any HE
+// operator on any simulated TPU generation and parameter set — the
+// reproduction's stand-in for the XLA profiler trace viewer.
+//
+// Usage:
+//
+//	crossprof -device TPUv6e -set D -op mult
+//	crossprof -device TPUv4  -set B -op rotate
+//	crossprof -op bootstrap
+//
+// Run with: go run ./cmd/crossprof [flags]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cross"
+	icross "cross/internal/cross"
+	"cross/internal/tpusim"
+)
+
+func main() {
+	device := flag.String("device", "TPUv6e", "TPU generation (TPUv4, TPUv5e, TPUv5p, TPUv6e)")
+	set := flag.String("set", "D", "parameter set (A, B, C, D)")
+	op := flag.String("op", "mult", "operator: add, mult, rescale, rotate, keyswitch, bootstrap, ntt, intt")
+	batch := flag.Int("batch", 1, "batch size for ntt/intt")
+	flag.Parse()
+
+	spec, ok := tpusim.SpecByName(*device)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown device %q\n", *device)
+		os.Exit(1)
+	}
+	params, err := icross.NamedSet(*set)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	dev := cross.NewDevice(spec)
+	comp, err := cross.NewCompiler(dev, params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var total float64
+	switch *op {
+	case "add":
+		total = comp.CostHEAdd()
+	case "mult":
+		total = comp.CostHEMult()
+	case "rescale":
+		total = comp.CostRescale()
+	case "rotate":
+		total = comp.CostRotate()
+	case "keyswitch":
+		total = comp.CostKeySwitch()
+	case "bootstrap":
+		total = comp.CostBootstrap(icross.DefaultBootstrapSchedule(params))
+	case "ntt":
+		total = comp.CostNTTMat(*batch)
+	case "intt":
+		total = comp.CostINTTMat(*batch)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown operator %q\n", *op)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s on %s, Set %s (N=2^%d, L=%d, dnum=%d, split %dx%d)\n",
+		*op, spec.Name, *set, params.LogN, params.L, params.Dnum, params.R, params.C)
+	fmt.Printf("simulated latency: %.2f µs (one tensor core)\n\n", total*1e6)
+	fmt.Println("category breakdown:")
+	fmt.Println(dev.Trace.Breakdown())
+}

@@ -1,0 +1,53 @@
+package cross_test
+
+import (
+	"fmt"
+
+	"cross"
+)
+
+// Example demonstrates the two layers of the library: functional HE
+// (encrypt → square → decrypt) and the simulated TPU lowering.
+func Example() {
+	ctx, err := cross.NewContext(cross.ContextOptions{LogN: 10, Limbs: 4})
+	if err != nil {
+		panic(err)
+	}
+	x := make([]complex128, ctx.Slots())
+	x[0] = 3
+	ct, err := ctx.EncryptValues(x)
+	if err != nil {
+		panic(err)
+	}
+	sq, err := ctx.MulRescale(ct, ct)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("3² ≈ %.2f\n", real(ctx.DecryptValues(sq)[0]))
+
+	comp, err := cross.NewCompiler(cross.NewDevice(cross.TPUv6e()), cross.SetD())
+	if err != nil {
+		panic(err)
+	}
+	ops := comp.MeasureHEOps()
+	fmt.Printf("simulated HE-Mult is %.0f× HE-Add\n", ops.Mult/ops.Add)
+	// Output:
+	// 3² ≈ 9.00
+	// simulated HE-Mult is 238× HE-Add
+}
+
+// ExampleCompileScalarBAT shows BAT's core transformation: a pre-known
+// scalar becomes a dense K×K uint8 matrix whose INT8 matrix-vector
+// product computes the modular multiplication (paper Fig. 7).
+func ExampleCompileScalarBAT() {
+	m, err := cross.NewModulus(268369921) // 28-bit NTT prime
+	if err != nil {
+		panic(err)
+	}
+	plan, err := cross.CompileScalarBAT(m, 123456789%m.Q)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan.Mul(42) == m.MulMod(123456789%m.Q, 42))
+	// Output: true
+}

@@ -1,0 +1,150 @@
+// Command mnist reproduces the paper's §V-D encrypted-inference
+// workload in two stages:
+//
+//  1. a functionally-verified encrypted convolution + square activation
+//     on a synthetic 8×8 image (the real MNIST data and trained weights
+//     are substituted per DESIGN.md §2 — the latency estimate depends
+//     only on the operator schedule);
+//  2. the paper-scale schedule (2×{Conv-ReLU-AvgPool}→FC→ReLU→FC at
+//     N=2^13, L=18) priced on a simulated TPUv6e using the paper's
+//     kernel-count × profiled-latency methodology (§V-A).
+//
+// Run with: go run ./examples/mnist
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+	"math/rand"
+
+	"cross"
+)
+
+const imgSize = 8 // synthetic image side; 64 pixels packed in slots
+
+// convPlain is the plaintext reference: the rotation-based HE schedule
+// rotates the full slot vector (image in slots [0, 64), zeros beyond),
+// so the reference convolves over the same padded vector, followed by a
+// square activation.
+func convPlain(img []float64, kernel [9]float64, slots int) []float64 {
+	padded := make([]float64, slots)
+	copy(padded, img)
+	out := make([]float64, len(img))
+	for p := 0; p < len(img); p++ {
+		var acc float64
+		for dy := 0; dy < 3; dy++ {
+			for dx := 0; dx < 3; dx++ {
+				shift := dy*imgSize + dx
+				acc += kernel[dy*3+dx] * padded[(p+shift)%slots]
+			}
+		}
+		out[p] = acc * acc
+	}
+	return out
+}
+
+func main() {
+	// Rotation amounts needed by the 3×3 kernel taps.
+	var rotations []int
+	for dy := 0; dy < 3; dy++ {
+		for dx := 0; dx < 3; dx++ {
+			rotations = append(rotations, dy*imgSize+dx)
+		}
+	}
+	ctx, err := cross.NewContext(cross.ContextOptions{
+		LogN: 10, Limbs: 5, Rotations: rotations, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Synthetic image and kernel (substitute for MNIST data + trained
+	// weights; see DESIGN.md §2).
+	rng := rand.New(rand.NewSource(7))
+	img := make([]float64, imgSize*imgSize)
+	for i := range img {
+		img[i] = rng.Float64()
+	}
+	var kernel [9]float64
+	for i := range kernel {
+		kernel[i] = rng.Float64()*2 - 1
+	}
+
+	// Encrypt the packed image.
+	slots := make([]complex128, ctx.Slots())
+	for i, v := range img {
+		slots[i] = complex(v, 0)
+	}
+	ct, err := ctx.EncryptValues(slots)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Encrypted convolution: rotate-and-accumulate with plaintext taps,
+	// then one ciphertext multiplication as the square activation —
+	// exactly the ConvLayer/ActLayer schedule the estimator prices.
+	var acc *cross.Ciphertext
+	for dy := 0; dy < 3; dy++ {
+		for dx := 0; dx < 3; dx++ {
+			shift := dy*imgSize + dx
+			rot := ct
+			if shift != 0 {
+				if rot, err = ctx.Evaluator.Rotate(ct, shift); err != nil {
+					log.Fatal(err)
+				}
+			}
+			tapVals := make([]complex128, ctx.Slots())
+			for i := range tapVals {
+				tapVals[i] = complex(kernel[dy*3+dx], 0)
+			}
+			tap, err := ctx.Encoder.Encode(tapVals)
+			if err != nil {
+				log.Fatal(err)
+			}
+			term, err := ctx.Evaluator.MulPlain(rot, tap)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if acc == nil {
+				acc = term
+			} else if acc, err = ctx.Evaluator.Add(acc, term); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	conv, err := ctx.Evaluator.Rescale(acc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	squared, err := ctx.MulRescale(conv, conv)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify against the plaintext reference.
+	want := convPlain(img, kernel, ctx.Slots())
+	got := ctx.DecryptValues(squared)
+	var worst float64
+	for i := range want {
+		if e := cmplx.Abs(got[i] - complex(want[i], 0)); e > worst {
+			worst = e
+		}
+	}
+	fmt.Printf("encrypted Conv3x3 + square on %d pixels: max error %.2e\n", len(img), worst)
+	if worst > 1e-2 {
+		log.Fatalf("functional verification FAILED (error %g)", worst)
+	}
+	fmt.Println("functional verification PASSED")
+
+	// Paper-scale estimate (§V-D: 270 ms/image on v6e-8).
+	comp, err := cross.NewCompiler(cross.NewDevice(cross.TPUv6e()), cross.MNISTParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	total, perImage := cross.EstimateMNIST(comp)
+	fmt.Printf("\npaper-scale CNN (N=2^13, L=18, dnum=3) on simulated TPUv6e:\n")
+	fmt.Printf("  per-image latency:  %.0f ms   (paper: 270 ms amortised)\n", perImage*1e3)
+	fmt.Printf("  batch-64 total:     %.1f s\n", total)
+	fmt.Printf("  Orion baseline:     2700 ms/image — CROSS wins %.1f×\n", 2700/(perImage*1e3))
+}

@@ -1,0 +1,95 @@
+// Command quickstart demonstrates the two faces of the CROSS
+// reproduction in one run:
+//
+//  1. the functional HE layer — encrypt two vectors, add, multiply,
+//     rotate, and decrypt, verifying against plaintext arithmetic;
+//  2. the compiler layer — lower the same operators onto a simulated
+//     TPUv6e tensor core and print the paper-style latency breakdown
+//     (Fig. 12).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+	"math/rand"
+
+	"cross"
+)
+
+func main() {
+	// --- Functional HE layer ---
+	ctx, err := cross.NewContext(cross.ContextOptions{
+		LogN: 11, Limbs: 5, Rotations: []int{1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CKKS context: N=2^11, %d slots, %d levels, scale 2^28\n",
+		ctx.Slots(), ctx.Params.MaxLevel()+1)
+
+	rng := rand.New(rand.NewSource(42))
+	x := make([]complex128, ctx.Slots())
+	y := make([]complex128, ctx.Slots())
+	for i := range x {
+		x[i] = complex(rng.Float64(), 0)
+		y[i] = complex(rng.Float64(), 0)
+	}
+
+	ctX, err := ctx.EncryptValues(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctY, err := ctx.EncryptValues(y)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sum, err := ctx.Evaluator.Add(ctX, ctY)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prod, err := ctx.MulRescale(ctX, ctY)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rot, err := ctx.Evaluator.Rotate(ctX, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(name string, ct *cross.Ciphertext, want func(i int) complex128) {
+		got := ctx.DecryptValues(ct)
+		var worst float64
+		for i := range got {
+			if e := cmplx.Abs(got[i] - want(i)); e > worst {
+				worst = e
+			}
+		}
+		fmt.Printf("  %-10s slot0 = %7.4f  (max error %.2e)\n", name, real(got[0]), worst)
+	}
+	fmt.Println("encrypted arithmetic vs plaintext:")
+	report("x + y", sum, func(i int) complex128 { return x[i] + y[i] })
+	report("x * y", prod, func(i int) complex128 { return x[i] * y[i] })
+	report("rot(x,1)", rot, func(i int) complex128 { return x[(i+1)%len(x)] })
+
+	// --- Compiler layer ---
+	dev := cross.NewDevice(cross.TPUv6e())
+	comp, err := cross.NewCompiler(dev, cross.SetD())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ops := comp.MeasureHEOps()
+	fmt.Println("\nsimulated TPUv6e (1 tensor core, Set D: N=2^16, L=51):")
+	fmt.Printf("  HE-Add   %10.1f µs\n", ops.Add*1e6)
+	fmt.Printf("  HE-Mult  %10.1f µs\n", ops.Mult*1e6)
+	fmt.Printf("  Rescale  %10.1f µs\n", ops.Rescale*1e6)
+	fmt.Printf("  Rotate   %10.1f µs\n", ops.Rotate*1e6)
+
+	dev.Trace.Reset()
+	comp.CostHEMult()
+	fmt.Println("\nHE-Mult latency breakdown (Fig. 12 style):")
+	fmt.Println(dev.Trace.Breakdown())
+}

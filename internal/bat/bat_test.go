@@ -1,0 +1,323 @@
+package bat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cross/internal/modarith"
+)
+
+// 28-bit NTT-friendly prime, the paper's default log₂q (Tab. IV).
+var q28 = modarith.MustModulus(268369921)
+
+// a 31-bit prime to stress the top of BAT's operating range.
+var q31 = modarith.MustModulus(2147483647)
+
+func TestChunkRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		k := 1 + rng.Intn(8)
+		a := rng.Uint64() & ((1 << (uint(k) * BP)) - 1)
+		if got := ChunkMerge(ChunkDecompose(a, k)); got != a {
+			t.Fatalf("k=%d: merge(decompose(%d)) = %d", k, a, got)
+		}
+	}
+}
+
+func TestNumChunks(t *testing.T) {
+	cases := map[uint]int{1: 1, 8: 1, 9: 2, 16: 2, 28: 4, 32: 4, 59: 8}
+	for bits, want := range cases {
+		if got := NumChunks(bits); got != want {
+			t.Errorf("NumChunks(%d) = %d want %d", bits, got, want)
+		}
+	}
+}
+
+func TestChunkMergeWide(t *testing.T) {
+	psums := []int32{0x12, 0x3456, 0x789, 0x1}
+	want := uint64(0x12) + uint64(0x3456)<<8 + uint64(0x789)<<16 + uint64(0x1)<<24
+	if got := ChunkMergeWide(psums); got != want {
+		t.Fatalf("ChunkMergeWide = %#x want %#x", got, want)
+	}
+}
+
+func TestDirectScalarBAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, m := range []*modarith.Modulus{q28, q31} {
+		for i := 0; i < 200; i++ {
+			a := rng.Uint64() % m.Q
+			plan, err := DirectScalarBAT(m, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < 20; j++ {
+				b := rng.Uint64() % m.Q
+				if got, want := plan.Mul(b), m.MulMod(a, b); got != want {
+					t.Fatalf("q=%d a=%d b=%d: BAT %d want %d", m.Q, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDirectScalarBATEdgeCases(t *testing.T) {
+	for _, a := range []uint64{0, 1, q28.Q - 1, 255, 256, 1 << 27} {
+		plan, err := DirectScalarBAT(q28, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range []uint64{0, 1, q28.Q - 1, 1 << 20} {
+			if got, want := plan.Mul(b), q28.MulMod(a, b); got != want {
+				t.Fatalf("a=%d b=%d: %d want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestOfflineCompileScalarMatchesDirect(t *testing.T) {
+	// Alg. 5 (Toeplitz + fold + carry) and Alg. 2 (direct) must agree as
+	// *functions*, not necessarily as digit matrices.
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range []*modarith.Modulus{q28, q31} {
+		for i := 0; i < 100; i++ {
+			a := rng.Uint64() % m.Q
+			viaAlg5, err := OfflineCompileScalar(m, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < 10; j++ {
+				b := rng.Uint64() % m.Q
+				if got, want := viaAlg5.Mul(b), m.MulMod(a, b); got != want {
+					t.Fatalf("q=%d a=%d b=%d: Alg5 %d want %d", m.Q, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestConstructToeplitz(t *testing.T) {
+	chunks := []uint8{1, 2, 3, 4}
+	x := ConstructToeplitz(chunks)
+	if len(x) != 7 || len(x[0]) != 4 {
+		t.Fatalf("toeplitz shape %d×%d", len(x), len(x[0]))
+	}
+	// X[i+j, j] = a_i
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 4; i++ {
+			if x[i+j][j] != uint64(chunks[i]) {
+				t.Fatalf("X[%d][%d] = %d want %d", i+j, j, x[i+j][j], chunks[i])
+			}
+		}
+	}
+	// Zero fraction is 12/28 ≈ 43% (Fig. 7).
+	var zeros int
+	for _, row := range x {
+		for _, v := range row {
+			if v == 0 && true {
+				zeros++
+			}
+		}
+	}
+	// chunks are nonzero here, so structural zeros only.
+	if zeros != 12 {
+		t.Fatalf("structural zeros = %d want 12", zeros)
+	}
+	if f := SparseZeroFraction(4); f < 0.42 || f > 0.44 {
+		t.Fatalf("SparseZeroFraction(4) = %f", f)
+	}
+}
+
+func TestSparseScalarMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, m := range []*modarith.Modulus{q28, q31} {
+		for i := 0; i < 300; i++ {
+			a, b := rng.Uint64()%m.Q, rng.Uint64()%m.Q
+			if got, want := SparseScalarMul(m, a, b), m.MulMod(a, b); got != want {
+				t.Fatalf("q=%d SparseScalarMul(%d,%d)=%d want %d", m.Q, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestConv1DScalarMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, m := range []*modarith.Modulus{q28, q31} {
+		for i := 0; i < 300; i++ {
+			a, b := rng.Uint64()%m.Q, rng.Uint64()%m.Q
+			if got, want := Conv1DScalarMul(m, a, b), m.MulMod(a, b); got != want {
+				t.Fatalf("q=%d Conv1D(%d,%d)=%d want %d", m.Q, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestConv1DVecMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 64
+	a := make([]uint64, n)
+	b := make([]uint64, n)
+	for i := range a {
+		a[i], b[i] = rng.Uint64()%q28.Q, rng.Uint64()%q28.Q
+	}
+	dst := make([]uint64, n)
+	Conv1DVecMul(q28, dst, a, b)
+	for i := range dst {
+		if dst[i] != q28.MulMod(a[i], b[i]) {
+			t.Fatalf("Conv1DVecMul[%d] mismatch", i)
+		}
+	}
+}
+
+func TestMatMulPlanMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct{ h, v, w int }{{1, 1, 1}, {2, 3, 4}, {8, 8, 8}, {16, 5, 7}, {4, 32, 2}}
+	for _, m := range []*modarith.Modulus{q28, q31} {
+		for _, tc := range cases {
+			a := make([]uint64, tc.h*tc.v)
+			b := make([]uint64, tc.v*tc.w)
+			for i := range a {
+				a[i] = rng.Uint64() % m.Q
+			}
+			for i := range b {
+				b[i] = rng.Uint64() % m.Q
+			}
+			plan, err := OfflineCompileLeft(m, a, tc.h, tc.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := plan.Mul(b, tc.w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ModMatMulDirect(m, a, tc.h, tc.v, b, tc.w)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("q=%d (%d,%d,%d) elem %d: BAT %d direct %d", m.Q, tc.h, tc.v, tc.w, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSparseMatMulBaselineMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	h, v, w := 4, 6, 5
+	a := make([]uint64, h*v)
+	b := make([]uint64, v*w)
+	for i := range a {
+		a[i] = rng.Uint64() % q28.Q
+	}
+	for i := range b {
+		b[i] = rng.Uint64() % q28.Q
+	}
+	got := SparseMatMulBaseline(q28, a, h, v, b, w)
+	want := ModMatMulDirect(q28, a, h, v, b, w)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("elem %d: %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMatMulPlanValidation(t *testing.T) {
+	wide := modarith.MustModulus(1152921504606830593) // 60-bit
+	if _, err := OfflineCompileLeft(wide, []uint64{1}, 1, 1); err == nil {
+		t.Error("expected error for >32-bit modulus")
+	}
+	if _, err := OfflineCompileLeft(q28, []uint64{1, 2, 3}, 2, 2); err == nil {
+		t.Error("expected error for shape mismatch")
+	}
+	plan, err := OfflineCompileLeft(q28, []uint64{1, 2}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.CompileRight([]uint64{1, 2, 3}, 1); err == nil {
+		t.Error("expected error for right shape mismatch")
+	}
+	if _, err := plan.MatMulLowPrec([]uint8{1}, 1); err == nil {
+		t.Error("expected error for dense right shape mismatch")
+	}
+}
+
+func TestPsumBits(t *testing.T) {
+	plan, err := OfflineCompileLeft(q28, make([]uint64, 256), 1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2·8 + log2(4·256) = 16 + 10 = 26.
+	if got := plan.PsumBits(); got != 26 {
+		t.Fatalf("PsumBits = %d want 26", got)
+	}
+}
+
+func TestLazyReducePlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, m := range []*modarith.Modulus{q28, q31} {
+		plan, err := NewLazyReducePlan(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			x := rng.Uint64()
+			r := plan.Reduce(x)
+			if r%m.Q != x%m.Q {
+				t.Fatalf("q=%d lazy Reduce(%d) wrong residue", m.Q, x)
+			}
+			if full := plan.ReduceFull(x); full != x%m.Q {
+				t.Fatalf("q=%d ReduceFull(%d) = %d want %d", m.Q, x, full, x%m.Q)
+			}
+		}
+		// Lazy multiply.
+		for i := 0; i < 200; i++ {
+			a, b := rng.Uint64()%m.Q, rng.Uint64()%m.Q
+			r, err := plan.MulLazy(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r%m.Q != m.MulMod(a, b) {
+				t.Fatalf("q=%d MulLazy(%d,%d) wrong residue", m.Q, a, b)
+			}
+		}
+		if _, err := plan.MulLazy(1<<33, 1); err == nil {
+			t.Error("expected error for oversized operand")
+		}
+	}
+}
+
+func TestValidateModulusRejectsWide(t *testing.T) {
+	wide := modarith.MustModulus(1152921504606830593)
+	if _, err := DirectScalarBAT(wide, 1); err == nil {
+		t.Error("DirectScalarBAT accepted 60-bit modulus")
+	}
+	if _, err := OfflineCompileScalar(wide, 1); err == nil {
+		t.Error("OfflineCompileScalar accepted 60-bit modulus")
+	}
+	if _, err := NewLazyReducePlan(wide); err == nil {
+		t.Error("NewLazyReducePlan accepted 60-bit modulus")
+	}
+}
+
+// Property: all four scalar multiplication routes agree.
+func TestScalarRoutesAgreeQuick(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a %= q28.Q
+		b %= q28.Q
+		want := q28.MulMod(a, b)
+		direct, err := DirectScalarBAT(q28, a)
+		if err != nil {
+			return false
+		}
+		alg5, err := OfflineCompileScalar(q28, a)
+		if err != nil {
+			return false
+		}
+		return direct.Mul(b) == want &&
+			alg5.Mul(b) == want &&
+			SparseScalarMul(q28, a, b) == want &&
+			Conv1DScalarMul(q28, a, b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+// Package bat implements Basis-Aligned Transformation (§IV-A), the
+// paper's technique for converting high-precision modular arithmetic
+// into dense low-precision (8-bit) matrix multiplication so that the
+// MXU — idle under GPU-style HE kernels — does the heavy lifting.
+//
+// The package provides, for moduli up to 32 bits (the paper's setting,
+// log₂q < 32):
+//
+//   - chunk decomposition/merging between words and bp-bit digits
+//     (Alg. 2 CHUNKDECOMPOSE / CHUNKMERGE);
+//   - DirectScalarBAT: the dense K×K matrix of a pre-known scalar
+//     (Alg. 2), plus the full Toeplitz-fold-and-carry pipeline of
+//     Alg. 5 that derives it from the sparse form;
+//   - the BAT ModMatMul (Alg. 2 MAIN): OfflineCompileLeft /
+//     RuntimeCompileRight and the KH×KV by KV×W low-precision product;
+//   - the SoTA GPU sparse Toeplitz baseline (Fig. 7 left) that BAT is
+//     measured against in Tab. V;
+//   - the 1-D convolution fallback for two unknown operands (Fig. 16);
+//   - BAT lazy modular reduction (§J).
+package bat
+
+import "fmt"
+
+// BP is the chunk bit width — the operand precision of the MXU (INT8).
+const BP = 8
+
+// chunkMask extracts one bp-bit digit.
+const chunkMask = (1 << BP) - 1
+
+// NumChunks returns K = ⌈bits / bp⌉, the number of 8-bit chunks needed
+// for a value of the given bit width (Tab. I, K).
+func NumChunks(bits uint) int {
+	return int((bits + BP - 1) / BP)
+}
+
+// ChunkDecompose splits a into k bp-bit digits, least significant first
+// (Alg. 2 CHUNKDECOMPOSE).
+func ChunkDecompose(a uint64, k int) []uint8 {
+	out := make([]uint8, k)
+	for i := 0; i < k; i++ {
+		out[i] = uint8((a >> (uint(i) * BP)) & chunkMask)
+	}
+	return out
+}
+
+// ChunkDecomposeInto is ChunkDecompose into a caller-provided buffer.
+func ChunkDecomposeInto(dst []uint8, a uint64) {
+	for i := range dst {
+		dst[i] = uint8((a >> (uint(i) * BP)) & chunkMask)
+	}
+}
+
+// ChunkMerge reassembles digits into a word (Alg. 2 CHUNKMERGE):
+// Σ_k a_k · 2^(k·bp).
+func ChunkMerge(chunks []uint8) uint64 {
+	var a uint64
+	for k := len(chunks) - 1; k >= 0; k-- {
+		a = a<<BP | uint64(chunks[k])
+	}
+	return a
+}
+
+// ChunkMergeWide reassembles wide (int32) partial sums — the raw MXU
+// accumulator outputs — into a word: Σ_k psum_k · 2^(k·bp). The paper's
+// carry-add chain (Fig. 7 ❺). Inputs must keep the total below 2^63.
+func ChunkMergeWide(psums []int32) uint64 {
+	var a uint64
+	for k := len(psums) - 1; k >= 0; k-- {
+		a = a<<BP + uint64(uint32(psums[k]))
+	}
+	return a
+}
+
+// validateModulus enforces the BAT precondition log₂q ≤ 32 (§V-A: the
+// paper selects log₂q < 32 and uses double rescaling beyond).
+func validateModulus(q uint64) error {
+	if q == 0 || q >= 1<<32 {
+		return fmt.Errorf("bat: modulus %d outside BAT's 32-bit operating range", q)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package bat
+
+import "cross/internal/modarith"
+
+// Fallback path for products of two runtime (unknown) operands (§H,
+// Fig. 16): BAT needs a pre-known operand to fold the modulus offline,
+// so when both inputs are fresh data CROSS schedules the chunk-wise
+// multiplication as a 1-D convolution over the 2K−1 output bases,
+// followed by the temporal shift-and-add chain and a final reduction.
+
+// Conv1DScalarMul multiplies a·b mod q via the 1-D convolution schedule:
+// pad a's chunk vector with K−1 zeros on both sides, slide b's reversed
+// chunk vector across it over 2K−1 temporal steps, and shift-accumulate
+// the partial sums (Fig. 16 ❶–❸).
+func Conv1DScalarMul(m *modarith.Modulus, a, b uint64) uint64 {
+	k := NumChunks(m.Bits)
+	ach := ChunkDecompose(a%m.Q, k)
+	bch := ChunkDecompose(b%m.Q, k)
+
+	// padded a: K−1 zeros, chunks, K−1 zeros.
+	padded := make([]uint64, k-1+k+k-1)
+	for i, c := range ach {
+		padded[k-1+i] = uint64(c)
+	}
+
+	var z uint64
+	for step := 0; step < 2*k-1; step++ {
+		// psum_step = Σ_j padded[step+j]·b_{K−1−j}: each chunk-wise
+		// product is ≤ (2^bp−1)², the reduction of K terms adds
+		// log2(K) bits — 18 bits total for K=4 (Fig. 16 ❷).
+		var psum uint64
+		for j := 0; j < k; j++ {
+			psum += padded[step+j] * uint64(bch[k-1-j])
+		}
+		z += psum << (uint(step) * BP)
+	}
+	return m.Reduce(z)
+}
+
+// Conv1DVecMul applies the convolution schedule element-wise to two
+// runtime vectors — the shape CROSS uses for ciphertext×ciphertext
+// VecModMul when neither side is a compile-time parameter.
+func Conv1DVecMul(m *modarith.Modulus, dst, a, b []uint64) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("bat: vector length mismatch")
+	}
+	for i := range dst {
+		dst[i] = Conv1DScalarMul(m, a[i], b[i])
+	}
+}

@@ -1,0 +1,76 @@
+package bat
+
+import (
+	"testing"
+
+	"cross/internal/modarith"
+)
+
+// Native Go fuzz targets. In normal `go test` runs they execute the
+// seed corpus; `go test -fuzz=FuzzX` explores further. Every target
+// pins a BAT correctness invariant against the word-level oracle.
+
+func FuzzScalarBATRoutes(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(268369920))
+	f.Add(uint64(268369920), uint64(268369920))
+	f.Add(uint64(123456789), uint64(987654321))
+	m := modarith.MustModulus(268369921)
+	f.Fuzz(func(t *testing.T, a, b uint64) {
+		a %= m.Q
+		b %= m.Q
+		want := m.MulMod(a, b)
+		direct, err := DirectScalarBAT(m, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := direct.Mul(b); got != want {
+			t.Fatalf("DirectScalarBAT(%d).Mul(%d) = %d want %d", a, b, got, want)
+		}
+		alg5, err := OfflineCompileScalar(m, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := alg5.Mul(b); got != want {
+			t.Fatalf("Alg5(%d).Mul(%d) = %d want %d", a, b, got, want)
+		}
+		if got := SparseScalarMul(m, a, b); got != want {
+			t.Fatalf("Sparse(%d, %d) = %d want %d", a, b, got, want)
+		}
+		if got := Conv1DScalarMul(m, a, b); got != want {
+			t.Fatalf("Conv1D(%d, %d) = %d want %d", a, b, got, want)
+		}
+	})
+}
+
+func FuzzChunkRoundTrip(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(^uint64(0) >> 32)
+	f.Add(uint64(0xDEADBEEF))
+	f.Fuzz(func(t *testing.T, a uint64) {
+		a &= (1 << 32) - 1
+		if got := ChunkMerge(ChunkDecompose(a, 4)); got != a {
+			t.Fatalf("chunk round trip %d -> %d", a, got)
+		}
+	})
+}
+
+func FuzzLazyReduce(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Add(uint64(268369921) * uint64(268369920))
+	m := modarith.MustModulus(268369921)
+	plan, err := NewLazyReducePlan(m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, x uint64) {
+		r := plan.Reduce(x)
+		if r%m.Q != x%m.Q {
+			t.Fatalf("lazy Reduce(%d) = %d: wrong residue", x, r)
+		}
+		if full := plan.ReduceFull(x); full != x%m.Q {
+			t.Fatalf("ReduceFull(%d) = %d want %d", x, full, x%m.Q)
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package bat
+
+import (
+	"fmt"
+
+	"cross/internal/modarith"
+)
+
+// BAT lazy modular reduction (§J): compress a 64-bit product psum back
+// into the 32-bit pipeline range by applying BAT only to the "overflow"
+// bytes above bit 32. The high K bytes c_{K..2K-1} are multiplied by the
+// precomputed K×K matrix LC[j][k] = chunk_k(2^(8(j+K)) mod q) — a
+// low-precision MatMul — and added to the untouched low 32 bits.
+//
+// The paper evaluates this as the "BAT lazy" reduction of Fig. 13 and
+// finds it unprofitable on the TPU (the K=4 reduction dimension starves
+// the 128×128 MXU) but profitable on finer-grained engines; the
+// simulator reproduces exactly that crossover.
+
+// LazyReducePlan is the compiled LC matrix for one modulus.
+type LazyReducePlan struct {
+	K  int
+	m  *modarith.Modulus
+	LC []uint8 // K×K row-major: LC[j][k] = chunk_k(2^(8(j+K)) mod q)
+}
+
+// NewLazyReducePlan compiles the reduction matrix for q (log₂q ≤ 32).
+func NewLazyReducePlan(m *modarith.Modulus) (*LazyReducePlan, error) {
+	if err := validateModulus(m.Q); err != nil {
+		return nil, err
+	}
+	k := NumChunks(m.Bits)
+	// The plan compresses values below 2^(16·k ≥ 64 is not needed): the
+	// input is a 64-bit psum, so the high part spans bytes k..7; we fold
+	// all of them, giving an 8−k row matrix in general. For the paper's
+	// K=4 this is exactly the K×K matrix of §J.
+	rows := 8 - k
+	p := &LazyReducePlan{K: k, m: m, LC: make([]uint8, rows*k)}
+	for j := 0; j < rows; j++ {
+		shift := uint(j+k) * BP
+		var hi, lo uint64
+		if shift >= 64 {
+			hi, lo = 1<<(shift-64), 0
+		} else {
+			hi, lo = 0, 1<<shift
+		}
+		lc := m.ReduceWide(hi, lo) // 2^(8(j+K)) mod q
+		for kk := 0; kk < k; kk++ {
+			p.LC[j*k+kk] = uint8((lc >> (uint(kk) * BP)) & chunkMask)
+		}
+	}
+	return p, nil
+}
+
+// Reduce compresses a 64-bit value into the 32-bit range with the lazy
+// guarantee out ≡ x (mod q) and out < 2^32 (not necessarily < q). One
+// K-dimension MatVecMul plus the low-word add (§J's final formula).
+func (p *LazyReducePlan) Reduce(x uint64) uint64 {
+	k := p.K
+	low := x & ((1 << (uint(k) * BP)) - 1)
+	rows := 8 - k
+	var folded uint64
+	for j := 0; j < rows; j++ {
+		cj := (x >> (uint(j+k) * BP)) & chunkMask
+		if cj == 0 {
+			continue
+		}
+		// c_{j+K} · LC_j accumulated chunk-wise (int32 psums on MXU).
+		row := p.LC[j*k : (j+1)*k]
+		for kk := 0; kk < k; kk++ {
+			folded += cj * uint64(row[kk]) << (uint(kk) * BP)
+		}
+	}
+	out := folded + low
+	// folded ≤ (8−K)·255·(2^32) ≈ 2^42: one more pass brings it under
+	// 2^32 for the paper's K=4 moduli; iterate until it fits.
+	for out >= 1<<(uint(k)*BP) && out >= p.m.Q {
+		next := out&((1<<(uint(k)*BP))-1) + p.foldHigh(out)
+		if next >= out {
+			// No progress possible below q·something; finish exactly.
+			return p.m.Reduce(out)
+		}
+		out = next
+	}
+	return out
+}
+
+func (p *LazyReducePlan) foldHigh(x uint64) uint64 {
+	k := p.K
+	rows := 8 - k
+	var folded uint64
+	for j := 0; j < rows; j++ {
+		cj := (x >> (uint(j+k) * BP)) & chunkMask
+		if cj == 0 {
+			continue
+		}
+		row := p.LC[j*k : (j+1)*k]
+		for kk := 0; kk < k; kk++ {
+			folded += cj * uint64(row[kk]) << (uint(kk) * BP)
+		}
+	}
+	return folded
+}
+
+// ReduceFull is Reduce followed by an exact final reduction to [0, q) —
+// the Barrett step CROSS appends at the end of a lazy chain (§G).
+func (p *LazyReducePlan) ReduceFull(x uint64) uint64 {
+	return p.m.Reduce(p.Reduce(x))
+}
+
+// MulLazy multiplies two 32-bit-range values and lazily reduces the
+// 64-bit product — the ablation datapoint of Fig. 13a.
+func (p *LazyReducePlan) MulLazy(a, b uint64) (uint64, error) {
+	if a >= 1<<32 || b >= 1<<32 {
+		return 0, fmt.Errorf("bat: lazy reduction operands must fit 32 bits")
+	}
+	return p.Reduce(a * b), nil
+}

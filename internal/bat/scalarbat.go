@@ -1,0 +1,193 @@
+package bat
+
+import (
+	"fmt"
+
+	"cross/internal/modarith"
+)
+
+// ScalarPlan is the offline-compiled dense K×K BAT matrix of a pre-known
+// scalar a modulo q: multiplying it by the chunk vector of a runtime
+// operand b and merging the K partial sums yields a·b mod q (up to one
+// final reduction). This is the unit block from which every larger BAT
+// operand matrix is tiled (Fig. 8).
+type ScalarPlan struct {
+	K int
+	M []uint8 // K×K row-major: M[i][j] = chunk_i((a·2^(j·bp)) mod q)
+	m *modarith.Modulus
+}
+
+// DirectScalarBAT compiles the dense matrix directly (Alg. 2
+// DIRECTSCALARBAT): column j holds the chunks of (a ≪ j·bp) mod q, so
+// every input-basis contribution is pre-folded through the modulus.
+func DirectScalarBAT(m *modarith.Modulus, a uint64) (*ScalarPlan, error) {
+	if err := validateModulus(m.Q); err != nil {
+		return nil, err
+	}
+	k := NumChunks(m.Bits)
+	p := &ScalarPlan{K: k, M: make([]uint8, k*k), m: m}
+	a %= m.Q
+	for j := 0; j < k; j++ {
+		val := m.Reduce(a << (uint(j) * BP)) // shift stays < 2^60 for k≤4
+		for i := 0; i < k; i++ {
+			p.M[i*k+j] = uint8((val >> (uint(i) * BP)) & chunkMask)
+		}
+	}
+	return p, nil
+}
+
+// Mul computes a·b mod q from the compiled plan: a K×1 dense
+// MatVecMul in 8-bit (the MXU path) followed by the shortened carry-add
+// chain (Fig. 7 ❹→❺) and one final Barrett reduction.
+func (p *ScalarPlan) Mul(b uint64) uint64 {
+	var chunks [8]uint8
+	ChunkDecomposeInto(chunks[:p.K], b%p.m.Q)
+	var psums [8]int32
+	k := p.K
+	for i := 0; i < k; i++ {
+		var acc int32
+		row := p.M[i*k : (i+1)*k]
+		for j := 0; j < k; j++ {
+			acc += int32(row[j]) * int32(chunks[j])
+		}
+		psums[i] = acc
+	}
+	return p.m.Reduce(ChunkMergeWide(psums[:k]))
+}
+
+// --- Alg. 5: deriving the dense matrix from the sparse Toeplitz form ---
+
+// ConstructToeplitz builds the sparse (2K−1)×K left matrix of the SoTA
+// GPU decomposition (Fig. 7 ❶): X[i+j, j] = a_i. Entries are widened to
+// uint64 because the fold-and-carry pipeline temporarily exceeds 8 bits.
+func ConstructToeplitz(chunks []uint8) [][]uint64 {
+	k := len(chunks)
+	x := make([][]uint64, 2*k-1)
+	for r := range x {
+		x[r] = make([]uint64, k)
+	}
+	for j := 0; j < k; j++ {
+		for i := 0; i < k; i++ {
+			x[i+j][j] = uint64(chunks[i])
+		}
+	}
+	return x
+}
+
+// foldBottomBlock applies the BAT step of Alg. 5: every non-zero entry
+// X[K+i, j] of the bottom block contributes X[K+i,j]·2^((K+i)·bp) to the
+// product; that contribution is reduced mod q offline and its chunks are
+// added back into column j of the top block.
+func foldBottomBlock(m *modarith.Modulus, x [][]uint64, k int) bool {
+	changed := false
+	for r := k; r < 2*k-1; r++ {
+		for j := 0; j < k; j++ {
+			if x[r][j] == 0 {
+				continue
+			}
+			changed = true
+			// proj = (X[r,j] << (r·bp)) mod q, computed exactly via
+			// 128-bit reduction since r·bp can reach 48 bits of shift.
+			shift := uint(r) * BP
+			var hi, lo uint64
+			if shift >= 64 {
+				hi, lo = x[r][j]<<(shift-64), 0
+			} else {
+				hi = x[r][j] >> (64 - shift)
+				lo = x[r][j] << shift
+			}
+			proj := m.ReduceWide(hi, lo)
+			x[r][j] = 0
+			for i := 0; i < k; i++ {
+				x[i][j] += (proj >> (uint(i) * BP)) & chunkMask
+			}
+		}
+	}
+	return changed
+}
+
+// carryPropagate normalises all columns so every entry fits in bp bits
+// (Alg. 5 CARRYPROPAGATION), pushing carries to the next row (the next
+// output basis).
+func carryPropagate(x [][]uint64, k int) {
+	rows := 2*k - 1
+	for j := 0; j < k; j++ {
+		for r := 0; r < rows-1; r++ {
+			if x[r][j] > chunkMask {
+				carry := x[r][j] >> BP
+				x[r][j] &= chunkMask
+				x[r+1][j] += carry
+			}
+		}
+		// The top row's carry would leave the matrix; by construction
+		// (values < q are folded before carries accumulate) it is zero.
+		if x[rows-1][j] > chunkMask {
+			panic("bat: carry escaped the Toeplitz matrix")
+		}
+	}
+}
+
+// OfflineCompileScalar runs the full Alg. 5 pipeline — Toeplitz
+// construction, bottom-block folding, and carry propagation iterated to
+// a fixed point — and returns the resulting dense K×K plan. It is the
+// constructive counterpart of DirectScalarBAT; the two compile routes
+// may produce different (equally valid) digit matrices, and both satisfy
+// Mul(b) = a·b mod q.
+func OfflineCompileScalar(m *modarith.Modulus, a uint64) (*ScalarPlan, error) {
+	if err := validateModulus(m.Q); err != nil {
+		return nil, err
+	}
+	k := NumChunks(m.Bits)
+	x := ConstructToeplitz(ChunkDecompose(a%m.Q, k))
+	for iter := 0; ; iter++ {
+		if iter > 64 {
+			return nil, fmt.Errorf("bat: Alg. 5 fold did not converge for a=%d q=%d", a, m.Q)
+		}
+		carryPropagate(x, k)
+		if !foldBottomBlock(m, x, k) {
+			break
+		}
+	}
+	p := &ScalarPlan{K: k, M: make([]uint8, k*k), m: m}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			p.M[i*k+j] = uint8(x[i][j])
+		}
+	}
+	return p, nil
+}
+
+// --- SoTA GPU sparse baseline (Fig. 7 left) ---
+
+// SparseScalarMul multiplies a·b mod q the way GPU HE libraries
+// decompose it (TensorFHE's flow): a sparse (2K−1)×K Toeplitz
+// MatVecMul over 8-bit chunks — ~43% zeros — followed by the full-length
+// seven-step carry-add chain and a final reduction. It exists as the
+// baseline against which BAT's 2× density win is measured.
+func SparseScalarMul(m *modarith.Modulus, a, b uint64) uint64 {
+	k := NumChunks(m.Bits)
+	ach := ChunkDecompose(a%m.Q, k)
+	bch := ChunkDecompose(b%m.Q, k)
+	x := ConstructToeplitz(ach)
+	// psum_r = Σ_j X[r,j]·b_j  (sparse MatVecMul, 12/28 zeros for K=4)
+	var z uint64
+	for r := 0; r < 2*k-1; r++ {
+		var psum uint64
+		for j := 0; j < k; j++ {
+			psum += x[r][j] * uint64(bch[j])
+		}
+		// shifted accumulation (carry-add chain); r·bp ≤ 48 for K=4 so
+		// the running sum is exactly a·b < 2^64.
+		z += psum << (uint(r) * BP)
+	}
+	return m.Reduce(z)
+}
+
+// SparseZeroFraction returns the fraction of structural zeros in the
+// sparse Toeplitz operand — 12/28 ≈ 43% for K=4 (Fig. 7), the compute
+// and memory waste BAT eliminates.
+func SparseZeroFraction(k int) float64 {
+	total := (2*k - 1) * k
+	nonzero := k * k
+	return float64(total-nonzero) / float64(total)
+}

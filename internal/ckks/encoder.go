@@ -1,0 +1,208 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/cmplx"
+
+	"cross/internal/ring"
+)
+
+// Encoder maps vectors of N/2 complex slots to ring plaintexts through
+// the CKKS canonical embedding (§II-A1): slot j is the evaluation of the
+// message polynomial at ζ^(5^j) with ζ = e^(iπ/N), computed with the
+// "special FFT" over the 5-generated rotation group so that slot
+// rotations correspond to Galois automorphisms X ↦ X^(5^k).
+type Encoder struct {
+	p *Parameters
+
+	n        int          // slot count N/2
+	m        int          // 2N
+	rotGroup []int        // 5^j mod 2N
+	ksiPows  []complex128 // e^(2πi k / 2N)
+}
+
+// NewEncoder builds the root tables for the parameter set.
+func NewEncoder(p *Parameters) *Encoder {
+	n := p.Slots()
+	m := p.N() * 2
+	e := &Encoder{p: p, n: n, m: m,
+		rotGroup: make([]int, n), ksiPows: make([]complex128, m+1)}
+	fivePow := 1
+	for j := 0; j < n; j++ {
+		e.rotGroup[j] = fivePow
+		fivePow = fivePow * 5 % m
+	}
+	for k := 0; k <= m; k++ {
+		angle := 2 * math.Pi * float64(k) / float64(m)
+		e.ksiPows[k] = cmplx.Exp(complex(0, angle))
+	}
+	return e
+}
+
+// bitReverseInPlace permutes vals by bit reversal (length power of two).
+func bitReverseInPlace(vals []complex128) {
+	n := len(vals)
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			vals[i], vals[j] = vals[j], vals[i]
+		}
+	}
+}
+
+// fftSpecial evaluates the message at the rotation-group roots
+// (decode direction).
+func (e *Encoder) fftSpecial(vals []complex128) {
+	n := len(vals)
+	bitReverseInPlace(vals)
+	for length := 2; length <= n; length <<= 1 {
+		lenh, lenq := length>>1, length<<2
+		for i := 0; i < n; i += length {
+			for j := 0; j < lenh; j++ {
+				idx := (e.rotGroup[j] % lenq) * e.m / lenq
+				u := vals[i+j]
+				v := vals[i+j+lenh] * e.ksiPows[idx]
+				vals[i+j] = u + v
+				vals[i+j+lenh] = u - v
+			}
+		}
+	}
+}
+
+// fftSpecialInv is the inverse transform (encode direction).
+func (e *Encoder) fftSpecialInv(vals []complex128) {
+	n := len(vals)
+	for length := n; length >= 2; length >>= 1 {
+		lenh, lenq := length>>1, length<<2
+		for i := 0; i < n; i += length {
+			for j := 0; j < lenh; j++ {
+				idx := (lenq - e.rotGroup[j]%lenq) * e.m / lenq
+				u := vals[i+j] + vals[i+j+lenh]
+				v := (vals[i+j] - vals[i+j+lenh]) * e.ksiPows[idx]
+				vals[i+j] = u
+				vals[i+j+lenh] = v
+			}
+		}
+	}
+	bitReverseInPlace(vals)
+	inv := complex(1/float64(n), 0)
+	for i := range vals {
+		vals[i] *= inv
+	}
+}
+
+// Plaintext is an encoded (unencrypted) message: a ring polynomial in
+// the NTT domain with an attached scale.
+type Plaintext struct {
+	Value *ring.Poly
+	Level int
+	Scale float64
+}
+
+// EncodeAtLevel embeds up to N/2 complex values into a plaintext at the
+// given level and scale. Missing slots are zero.
+func (e *Encoder) EncodeAtLevel(values []complex128, level int, scale float64) (*Plaintext, error) {
+	if len(values) > e.n {
+		return nil, fmt.Errorf("ckks: %d values exceed %d slots", len(values), e.n)
+	}
+	if level < 0 || level > e.p.MaxLevel() {
+		return nil, fmt.Errorf("ckks: level %d out of range", level)
+	}
+	vals := make([]complex128, e.n)
+	copy(vals, values)
+	e.fftSpecialInv(vals)
+
+	// Layout: coefficient j carries Re, coefficient j+N/2 carries Im.
+	coeffs := make([]*big.Int, e.p.N())
+	for j := 0; j < e.n; j++ {
+		coeffs[j] = bigFromFloat(real(vals[j]) * scale)
+		coeffs[j+e.n] = bigFromFloat(imag(vals[j]) * scale)
+	}
+	pt := &Plaintext{Value: ring.NewPoly(level+1, e.p.N()), Level: level, Scale: scale}
+	e.setBigCoeffs(pt.Value, coeffs, level)
+	e.p.RingQP.NTT(pt.Value)
+	return pt, nil
+}
+
+// Encode embeds values at the maximum level and default scale.
+func (e *Encoder) Encode(values []complex128) (*Plaintext, error) {
+	return e.EncodeAtLevel(values, e.p.MaxLevel(), e.p.Scale)
+}
+
+// Decode recovers the complex slots from a plaintext.
+func (e *Encoder) Decode(pt *Plaintext) []complex128 {
+	poly := pt.Value.CopyNew()
+	e.p.RingQP.INTT(poly)
+	coeffs := e.bigCoeffs(poly, pt.Level)
+
+	vals := make([]complex128, e.n)
+	for j := 0; j < e.n; j++ {
+		re := floatFromBig(coeffs[j]) / pt.Scale
+		im := floatFromBig(coeffs[j+e.n]) / pt.Scale
+		vals[j] = complex(re, im)
+	}
+	e.fftSpecial(vals)
+	return vals
+}
+
+// setBigCoeffs embeds signed big integers into the RNS limbs [0, level].
+func (e *Encoder) setBigCoeffs(p *ring.Poly, coeffs []*big.Int, level int) {
+	rq := e.p.RingQP
+	tmp := new(big.Int)
+	for i := 0; i <= level; i++ {
+		q := new(big.Int).SetUint64(rq.Moduli[i].Q)
+		for k, c := range coeffs {
+			if c == nil {
+				p.Coeffs[i][k] = 0
+				continue
+			}
+			tmp.Mod(c, q) // Go big.Int Mod is Euclidean: result ≥ 0
+			p.Coeffs[i][k] = tmp.Uint64()
+		}
+	}
+}
+
+// bigCoeffs reconstructs centered big-integer coefficients via CRT over
+// limbs [0, level].
+func (e *Encoder) bigCoeffs(p *ring.Poly, level int) []*big.Int {
+	basis := e.p.basisFor(qLimbs(level))
+	n := e.p.N()
+	out := make([]*big.Int, n)
+	res := make([]uint64, level+1)
+	for k := 0; k < n; k++ {
+		for i := 0; i <= level; i++ {
+			res[i] = p.Coeffs[i][k]
+		}
+		out[k] = basis.DecodeCentered(res)
+	}
+	return out
+}
+
+// bigFromFloat rounds a float64 to the nearest big integer, exactly for
+// magnitudes beyond 2^53 (needed when scale × value overflows int64).
+func bigFromFloat(f float64) *big.Int {
+	bf := new(big.Float).SetFloat64(f)
+	i, _ := bf.Int(nil)
+	// big.Float.Int truncates; adjust for rounding.
+	frac := new(big.Float).Sub(bf, new(big.Float).SetInt(i))
+	fr, _ := frac.Float64()
+	if fr >= 0.5 {
+		i.Add(i, big.NewInt(1))
+	} else if fr <= -0.5 {
+		i.Sub(i, big.NewInt(1))
+	}
+	return i
+}
+
+// floatFromBig converts a big integer to float64 (lossy for huge values;
+// decode tolerances absorb it).
+func floatFromBig(x *big.Int) float64 {
+	f, _ := new(big.Float).SetInt(x).Float64()
+	return f
+}

@@ -1,0 +1,378 @@
+package ckks
+
+import (
+	"fmt"
+
+	"cross/internal/ring"
+	"cross/internal/rns"
+)
+
+// KernelCounters tallies HE-kernel invocations (limb-granular) so the
+// functional path can be cross-checked against internal/cross's TPU
+// schedule — the two faces of the compiler must agree on how much work
+// each operator performs.
+type KernelCounters struct {
+	NTTLimbs   int
+	INTTLimbs  int
+	BConvCalls int
+	VecMulN    int // N-length modular multiplications
+	VecAddN    int // N-length modular additions/subtractions
+	Automorph  int
+}
+
+// Evaluator executes CKKS operators on the CPU. It is the functional
+// twin of the cross.Compiler lowering.
+type Evaluator struct {
+	p    *Parameters
+	rlk  *RelinearizationKey
+	gks  map[uint64]*GaloisKey
+	Kc   KernelCounters
+	auto map[uint64][]int // cached automorphism slot tables
+}
+
+// NewEvaluator builds an evaluator; rlk and gks may be nil when the
+// corresponding operators are unused.
+func NewEvaluator(p *Parameters, rlk *RelinearizationKey, gks map[uint64]*GaloisKey) *Evaluator {
+	return &Evaluator{p: p, rlk: rlk, gks: gks, auto: make(map[uint64][]int)}
+}
+
+// ResetCounters clears the kernel tally.
+func (ev *Evaluator) ResetCounters() { ev.Kc = KernelCounters{} }
+
+// Add returns ct1 + ct2.
+func (ev *Evaluator) Add(ct1, ct2 *Ciphertext) (*Ciphertext, error) {
+	if err := checkCompatible(ct1, ct2); err != nil {
+		return nil, err
+	}
+	rq := ev.p.RingQP
+	out := &Ciphertext{
+		C0: ring.NewPoly(ct1.Level+1, ev.p.N()), C1: ring.NewPoly(ct1.Level+1, ev.p.N()),
+		Level: ct1.Level, Scale: ct1.Scale,
+	}
+	rq.Add(ct1.C0, ct2.C0, out.C0)
+	rq.Add(ct1.C1, ct2.C1, out.C1)
+	ev.Kc.VecAddN += 2 * (ct1.Level + 1)
+	return out, nil
+}
+
+// Sub returns ct1 − ct2.
+func (ev *Evaluator) Sub(ct1, ct2 *Ciphertext) (*Ciphertext, error) {
+	if err := checkCompatible(ct1, ct2); err != nil {
+		return nil, err
+	}
+	rq := ev.p.RingQP
+	out := &Ciphertext{
+		C0: ring.NewPoly(ct1.Level+1, ev.p.N()), C1: ring.NewPoly(ct1.Level+1, ev.p.N()),
+		Level: ct1.Level, Scale: ct1.Scale,
+	}
+	rq.Sub(ct1.C0, ct2.C0, out.C0)
+	rq.Sub(ct1.C1, ct2.C1, out.C1)
+	ev.Kc.VecAddN += 2 * (ct1.Level + 1)
+	return out, nil
+}
+
+// AddPlain returns ct + pt (matching level and scale).
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	if ct.Level != pt.Level {
+		return nil, fmt.Errorf("ckks: level mismatch %d vs %d", ct.Level, pt.Level)
+	}
+	out := ct.CopyNew()
+	ev.p.RingQP.Add(out.C0, pt.Value, out.C0)
+	ev.Kc.VecAddN += ct.Level + 1
+	return out, nil
+}
+
+// MulPlain returns ct ⊙ pt; the output scale multiplies.
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	if ct.Level != pt.Level {
+		return nil, fmt.Errorf("ckks: level mismatch %d vs %d", ct.Level, pt.Level)
+	}
+	rq := ev.p.RingQP
+	out := ct.CopyNew()
+	rq.MulCoeffs(out.C0, pt.Value, out.C0)
+	rq.MulCoeffs(out.C1, pt.Value, out.C1)
+	out.Scale = ct.Scale * pt.Scale
+	ev.Kc.VecMulN += 2 * (ct.Level + 1)
+	return out, nil
+}
+
+// MulRelin multiplies two ciphertexts and relinearises the degree-2
+// term with the relinearisation key. The output scale multiplies; call
+// Rescale afterwards to bring it back down (the paper's HE-Mult lowers
+// tensor product + key switch + rescale, §III-A).
+func (ev *Evaluator) MulRelin(ct1, ct2 *Ciphertext) (*Ciphertext, error) {
+	if ct1.Level != ct2.Level {
+		return nil, fmt.Errorf("ckks: level mismatch %d vs %d", ct1.Level, ct2.Level)
+	}
+	if ev.rlk == nil {
+		return nil, fmt.Errorf("ckks: evaluator has no relinearisation key")
+	}
+	rq := ev.p.RingQP
+	lvl := ct1.Level
+	n := ev.p.N()
+
+	d0 := ring.NewPoly(lvl+1, n)
+	d1 := ring.NewPoly(lvl+1, n)
+	d2 := ring.NewPoly(lvl+1, n)
+	tmp := ring.NewPoly(lvl+1, n)
+	rq.MulCoeffs(ct1.C0, ct2.C0, d0)
+	rq.MulCoeffs(ct1.C0, ct2.C1, d1)
+	rq.MulCoeffs(ct1.C1, ct2.C0, tmp)
+	rq.Add(d1, tmp, d1)
+	rq.MulCoeffs(ct1.C1, ct2.C1, d2)
+	ev.Kc.VecMulN += 4 * (lvl + 1)
+	ev.Kc.VecAddN += lvl + 1
+
+	ks0, ks1 := ev.keySwitch(d2, lvl, &ev.rlk.SwitchingKey)
+	rq.Add(d0, ks0, d0)
+	rq.Add(d1, ks1, d1)
+	ev.Kc.VecAddN += 2 * (lvl + 1)
+
+	return &Ciphertext{C0: d0, C1: d1, Level: lvl, Scale: ct1.Scale * ct2.Scale}, nil
+}
+
+// Rescale divides the ciphertext by its top prime, dropping one level
+// and dividing the scale by that prime.
+func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
+	if ct.Level == 0 {
+		return nil, fmt.Errorf("ckks: cannot rescale at level 0")
+	}
+	lvl := ct.Level
+	qTop := ev.p.QPrimes[lvl]
+	out := &Ciphertext{
+		C0:    ev.rescalePoly(ct.C0, lvl),
+		C1:    ev.rescalePoly(ct.C1, lvl),
+		Level: lvl - 1,
+		Scale: ct.Scale / float64(qTop),
+	}
+	return out, nil
+}
+
+// rescalePoly computes round(poly / q_lvl) in RNS: INTT the top limb,
+// re-embed it into the remaining limbs, subtract, and multiply by
+// q_lvl⁻¹ (the exact-division trick; the rounding error is folded into
+// the ciphertext noise).
+func (ev *Evaluator) rescalePoly(p *ring.Poly, lvl int) *ring.Poly {
+	rq := ev.p.RingQP
+	n := ev.p.N()
+	qTop := ev.p.QPrimes[lvl]
+
+	top := append([]uint64(nil), p.Coeffs[lvl]...)
+	rq.INTTLimb(lvl, top)
+	ev.Kc.INTTLimbs++
+
+	out := ring.NewPoly(lvl, n)
+	half := qTop >> 1
+	for i := 0; i < lvl; i++ {
+		m := rq.Moduli[i]
+		dst := out.Coeffs[i]
+		// Centered embedding of the top-limb residues into q_i.
+		for k := 0; k < n; k++ {
+			v := top[k]
+			if v > half {
+				dst[k] = m.Q - m.Reduce(qTop-v)
+				if dst[k] == m.Q {
+					dst[k] = 0
+				}
+			} else {
+				dst[k] = m.Reduce(v)
+			}
+		}
+		rq.NTTLimb(i, dst)
+		ev.Kc.NTTLimbs++
+		// (c_i − top) · qTop⁻¹ mod q_i
+		inv := m.InvMod(m.Reduce(qTop))
+		invS := m.ShoupPrecompute(inv)
+		src := p.Coeffs[i]
+		for k := 0; k < n; k++ {
+			diff := m.SubMod(src[k], dst[k])
+			dst[k] = m.ShoupMulFull(diff, inv, invS)
+		}
+	}
+	ev.Kc.VecAddN += lvl
+	ev.Kc.VecMulN += lvl
+	ev.Kc.BConvCalls++
+	return out
+}
+
+// Rotate rotates the plaintext slots left by k positions using the
+// corresponding Galois key.
+func (ev *Evaluator) Rotate(ct *Ciphertext, k int) (*Ciphertext, error) {
+	g := ev.p.RingQP.GaloisElementForRotation(k)
+	return ev.applyGalois(ct, g)
+}
+
+// Conjugate applies complex conjugation to the slots.
+func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
+	return ev.applyGalois(ct, ev.p.RingQP.GaloisElementForConjugation())
+}
+
+func (ev *Evaluator) applyGalois(ct *Ciphertext, g uint64) (*Ciphertext, error) {
+	gk, ok := ev.gks[g]
+	if !ok {
+		return nil, fmt.Errorf("ckks: no Galois key for element %d", g)
+	}
+	rq := ev.p.RingQP
+	lvl := ct.Level
+	n := ev.p.N()
+
+	idx, ok := ev.auto[g]
+	if !ok {
+		var err error
+		idx, err = rq.AutomorphismNTTIndex(g)
+		if err != nil {
+			return nil, err
+		}
+		ev.auto[g] = idx
+	}
+
+	c0 := ring.NewPoly(lvl+1, n)
+	c1 := ring.NewPoly(lvl+1, n)
+	rq.AutomorphismNTT(ct.C0, c0, idx)
+	rq.AutomorphismNTT(ct.C1, c1, idx)
+	ev.Kc.Automorph += 2 * (lvl + 1)
+
+	ks0, ks1 := ev.keySwitch(c1, lvl, &gk.SwitchingKey)
+	rq.Add(c0, ks0, c0)
+	ev.Kc.VecAddN += lvl + 1
+	return &Ciphertext{C0: c0, C1: ks1, Level: lvl, Scale: ct.Scale}, nil
+}
+
+// keySwitch applies the hybrid key switch (Han–Ki) to a single NTT-domain
+// polynomial d at the given level, returning the (b, a) contribution
+// pair at the same level. This is the kernel pipeline of §III-A:
+// digit extraction → INTT → ModUp (BConv) → NTT → evk inner product →
+// ModDown.
+func (ev *Evaluator) keySwitch(d *ring.Poly, lvl int, swk *SwitchingKey) (*ring.Poly, *ring.Poly) {
+	p := ev.p
+	rq := p.RingQP
+	n := p.N()
+	total := p.L + p.Alpha
+	dnum := p.NumDigits(lvl)
+
+	// Coefficient-domain copy of d for digit extraction.
+	dCoeff := ring.NewPoly(lvl+1, n)
+	dCoeff.Copy(d)
+	rq.INTT(dCoeff)
+	ev.Kc.INTTLimbs += lvl + 1
+
+	// Accumulators over Q_lvl ∪ P (full limb layout; unused limbs idle).
+	acc0 := ring.NewPoly(total, n)
+	acc1 := ring.NewPoly(total, n)
+	extLimbs := append(qLimbs(lvl), p.pLimbs()...)
+
+	for j := 0; j < dnum; j++ {
+		lo, hi, ok := p.digitRange(j, lvl)
+		if !ok {
+			break
+		}
+		// The digit's own limbs stay in the NTT domain (copied from d);
+		// only the basis-converted limbs need a forward transform.
+		ext := ev.modUp(d, dCoeff, lo, hi, lvl)
+		// Accumulate ext ⊙ evk_j into (acc0, acc1).
+		for _, i := range extLimbs {
+			m := rq.Moduli[i]
+			for k := 0; k < n; k++ {
+				e := ext.Coeffs[i][k]
+				acc0.Coeffs[i][k] = m.AddMod(acc0.Coeffs[i][k], m.BarrettMul(e, swk.B[j].Coeffs[i][k]))
+				acc1.Coeffs[i][k] = m.AddMod(acc1.Coeffs[i][k], m.BarrettMul(e, swk.A[j].Coeffs[i][k]))
+			}
+		}
+		ev.Kc.VecMulN += 2 * len(extLimbs)
+		ev.Kc.VecAddN += 2 * len(extLimbs)
+	}
+
+	return ev.modDown(acc0, lvl), ev.modDown(acc1, lvl)
+}
+
+// modUp extends digit limbs [lo, hi) to the full Q_lvl ∪ P basis: the
+// digit's own limbs are copied straight from the NTT-domain input d,
+// the remaining limbs come from the approximate BConv of the
+// coefficient-domain dCoeff followed by a forward NTT each.
+func (ev *Evaluator) modUp(d, dCoeff *ring.Poly, lo, hi, lvl int) *ring.Poly {
+	p := ev.p
+	rq := p.RingQP
+	n := p.N()
+	total := p.L + p.Alpha
+
+	src := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		src = append(src, i)
+	}
+	dst := make([]int, 0, lvl+1+p.Alpha)
+	for i := 0; i <= lvl; i++ {
+		if i < lo || i >= hi {
+			dst = append(dst, i)
+		}
+	}
+	dst = append(dst, p.pLimbs()...)
+
+	ext := ring.NewPoly(total, n)
+	for _, i := range src {
+		copy(ext.Coeffs[i], d.Coeffs[i])
+	}
+	if len(dst) > 0 {
+		conv := p.converter(src, dst)
+		in := rns.AllocLimbs(len(src), n)
+		for si, i := range src {
+			copy(in[si], dCoeff.Coeffs[i])
+		}
+		out := conv.ConvertApprox(in)
+		for di, i := range dst {
+			copy(ext.Coeffs[i], out[di])
+			rq.NTTLimb(i, ext.Coeffs[i])
+			ev.Kc.NTTLimbs++
+		}
+		ev.Kc.BConvCalls++
+	}
+	return ext
+}
+
+// modDown divides an NTT-domain accumulator over Q_lvl ∪ P by P:
+// INTT the special limbs, convert them to Q_lvl, NTT, subtract, and
+// multiply by P⁻¹ mod q_i.
+func (ev *Evaluator) modDown(acc *ring.Poly, lvl int) *ring.Poly {
+	p := ev.p
+	rq := p.RingQP
+	n := p.N()
+
+	pIdx := p.pLimbs()
+	in := rns.AllocLimbs(len(pIdx), n)
+	for si, i := range pIdx {
+		copy(in[si], acc.Coeffs[i])
+		rq.INTTLimb(i, in[si])
+		ev.Kc.INTTLimbs++
+	}
+	conv := p.converter(pIdx, qLimbs(lvl))
+	out := conv.ConvertApprox(in)
+	ev.Kc.BConvCalls++
+
+	res := ring.NewPoly(lvl+1, n)
+	for i := 0; i <= lvl; i++ {
+		m := rq.Moduli[i]
+		rq.NTTLimb(i, out[i])
+		ev.Kc.NTTLimbs++
+		inv := p.PInvModQ(i)
+		invS := m.ShoupPrecompute(inv)
+		for k := 0; k < n; k++ {
+			diff := m.SubMod(acc.Coeffs[i][k], out[i][k])
+			res.Coeffs[i][k] = m.ShoupMulFull(diff, inv, invS)
+		}
+	}
+	ev.Kc.VecAddN += lvl + 1
+	ev.Kc.VecMulN += lvl + 1
+	return res
+}
+
+// DropLevel truncates a ciphertext to a lower level without scaling
+// (used to align operands).
+func (ev *Evaluator) DropLevel(ct *Ciphertext, toLevel int) (*Ciphertext, error) {
+	if toLevel < 0 || toLevel > ct.Level {
+		return nil, fmt.Errorf("ckks: cannot drop from level %d to %d", ct.Level, toLevel)
+	}
+	out := ct.CopyNew()
+	out.C0.Truncate(toLevel)
+	out.C1.Truncate(toLevel)
+	out.Level = toLevel
+	return out, nil
+}

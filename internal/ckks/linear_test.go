@@ -1,0 +1,164 @@
+package ckks
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRotateHoistedMatchesRotate(t *testing.T) {
+	rots := []int{1, 3, 5}
+	tc := newTestContext(t, rots)
+	rng := rand.New(rand.NewSource(50))
+	z := randomSlots(rng, tc.p.Slots())
+	pt, _ := tc.enc.Encode(z)
+	ct := tc.ctr.Encrypt(pt)
+
+	hoisted, err := tc.ev.RotateHoisted(ct, rots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range rots {
+		// Hoisting swaps the order of ModUp and automorphism; the
+		// approximate basis conversion's overflow multiples differ, so
+		// results agree up to key-switch noise, not bit-exactly. Both
+		// must decrypt to the rotated slots.
+		want := make([]complex128, len(z))
+		for j := range want {
+			want[j] = z[(j+k)%len(z)]
+		}
+		got := tc.enc.Decode(tc.dec.Decrypt(hoisted[i]))
+		if e := maxErr(got, want); e > 1e-2 {
+			t.Fatalf("rotation %d: hoisted error %g", k, e)
+		}
+		plain, err := tc.ev.Rotate(ct, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = tc.enc.Decode(tc.dec.Decrypt(plain))
+		if e := maxErr(got, want); e > 1e-2 {
+			t.Fatalf("rotation %d: plain error %g", k, e)
+		}
+	}
+}
+
+func TestRotateHoistedZeroIsCopy(t *testing.T) {
+	tc := newTestContext(t, []int{1})
+	pt, _ := tc.enc.Encode([]complex128{1, 2})
+	ct := tc.ctr.Encrypt(pt)
+	out, err := tc.ev.RotateHoisted(ct, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].C0.Equal(ct.C0) {
+		t.Fatal("rotation by 0 should copy")
+	}
+}
+
+func TestRotateHoistedMissingKey(t *testing.T) {
+	tc := newTestContext(t, []int{1})
+	pt, _ := tc.enc.Encode([]complex128{1})
+	ct := tc.ctr.Encrypt(pt)
+	if _, err := tc.ev.RotateHoisted(ct, []int{7}); err == nil {
+		t.Error("expected missing-key error")
+	}
+}
+
+func TestLinearTransformMatVec(t *testing.T) {
+	// A 3-diagonal band matrix over all slots, evaluated with BSGS and
+	// checked against the plaintext matrix-vector product.
+	tc0 := newTestContext(t, nil)
+	slots := tc0.p.Slots()
+	rng := rand.New(rand.NewSource(51))
+
+	diagIdx := []int{0, 1, 5}
+	diagonals := make(map[int][]complex128, len(diagIdx))
+	for _, d := range diagIdx {
+		v := make([]complex128, slots)
+		for i := range v {
+			v[i] = complex(rng.Float64()*2-1, 0)
+		}
+		diagonals[d] = v
+	}
+
+	// Build the transform first to learn the rotations it needs.
+	probe := NewEvaluator(tc0.p, nil, nil)
+	lt, err := probe.NewLinearTransform(tc0.enc, diagonals, tc0.p.MaxLevel(), tc0.p.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := newTestContext(t, lt.GaloisElementsFor())
+	lt, err = tc.ev.NewLinearTransform(tc.enc, diagonals, tc.p.MaxLevel(), tc.p.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	z := randomSlots(rng, slots)
+	pt, _ := tc.enc.Encode(z)
+	ct := tc.ctr.Encrypt(pt)
+	res, err := tc.ev.EvalLinearTransform(ct, lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := make([]complex128, slots)
+	for i := 0; i < slots; i++ {
+		for _, d := range diagIdx {
+			want[i] += diagonals[d][i] * z[(i+d)%slots]
+		}
+	}
+	got := tc.enc.Decode(tc.dec.Decrypt(res))
+	if e := maxErr(got, want); e > 2e-2 {
+		t.Fatalf("linear transform error %g", e)
+	}
+	if res.Level != tc.p.MaxLevel()-1 {
+		t.Fatalf("transform should consume one level, got %d", res.Level)
+	}
+}
+
+func TestLinearTransformValidation(t *testing.T) {
+	tc := newTestContext(t, nil)
+	if _, err := tc.ev.NewLinearTransform(tc.enc, nil, 0, 1); err == nil {
+		t.Error("expected empty-transform error")
+	}
+	bad := map[int][]complex128{-1: make([]complex128, tc.p.Slots())}
+	if _, err := tc.ev.NewLinearTransform(tc.enc, bad, 0, tc.p.Scale); err == nil {
+		t.Error("expected negative-diagonal error")
+	}
+	short := map[int][]complex128{0: {1, 2}}
+	if _, err := tc.ev.NewLinearTransform(tc.enc, short, 0, tc.p.Scale); err == nil {
+		t.Error("expected length error")
+	}
+	ok := map[int][]complex128{0: make([]complex128, tc.p.Slots())}
+	lt, err := tc.ev.NewLinearTransform(tc.enc, ok, tc.p.MaxLevel(), tc.p.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, _ := tc.enc.Encode([]complex128{1})
+	ct := tc.ctr.Encrypt(pt)
+	lowCt, _ := tc.ev.DropLevel(ct, 0)
+	if _, err := tc.ev.EvalLinearTransform(lowCt, lt); err == nil {
+		t.Error("expected level-mismatch error")
+	}
+}
+
+func TestLinearTransformGaloisElements(t *testing.T) {
+	tc := newTestContext(t, nil)
+	diags := map[int][]complex128{
+		0:  make([]complex128, tc.p.Slots()),
+		3:  make([]complex128, tc.p.Slots()),
+		17: make([]complex128, tc.p.Slots()),
+	}
+	probe := NewEvaluator(tc.p, nil, nil)
+	lt, err := probe.NewLinearTransform(tc.enc, diags, 0, tc.p.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rots := lt.GaloisElementsFor()
+	if len(rots) == 0 {
+		t.Fatal("transform with off-zero diagonals needs rotations")
+	}
+	// BSGS: far fewer rotations than diagonals × slots.
+	if len(rots) > 8 {
+		t.Fatalf("BSGS should need few rotations, got %d", len(rots))
+	}
+}

@@ -1,0 +1,153 @@
+package ckks
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEvalPolyAgainstPlaintext(t *testing.T) {
+	tc := newTestContext(t, nil)
+	rng := rand.New(rand.NewSource(70))
+	z := make([]complex128, tc.p.Slots())
+	for i := range z {
+		z[i] = complex(rng.Float64()*2-1, 0) // real inputs in [-1, 1]
+	}
+	pt, _ := tc.enc.Encode(z)
+	ct := tc.ctr.Encrypt(pt)
+
+	// The HELR sigmoid: 0.5 + 0.15·x − 0.0015·x³.
+	coeffs := []float64{0.5, 0.15, 0, -0.0015}
+	res, err := tc.ev.EvalPoly(ct, coeffs, tc.enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, len(z))
+	for i, x := range z {
+		v := complex(0, 0)
+		pw := complex(1, 0)
+		for _, c := range coeffs {
+			v += complex(c, 0) * pw
+			pw *= x
+		}
+		want[i] = v
+	}
+	got := tc.enc.Decode(tc.dec.Decrypt(res))
+	if e := maxErr(got, want); e > 5e-2 {
+		t.Fatalf("EvalPoly error %g", e)
+	}
+	// Degree-3 Horner consumes 3 levels.
+	if res.Level != tc.p.MaxLevel()-3 {
+		t.Fatalf("EvalPoly consumed wrong levels: at %d", res.Level)
+	}
+}
+
+func TestEvalPolyQuadratic(t *testing.T) {
+	tc := newTestContext(t, nil)
+	rng := rand.New(rand.NewSource(71))
+	z := make([]complex128, tc.p.Slots())
+	for i := range z {
+		z[i] = complex(rng.Float64(), 0)
+	}
+	pt, _ := tc.enc.Encode(z)
+	ct := tc.ctr.Encrypt(pt)
+	res, err := tc.ev.EvalPoly(ct, []float64{1, -2, 3}, tc.enc) // 3x²−2x+1
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, len(z))
+	for i, x := range z {
+		want[i] = 3*x*x - 2*x + 1
+	}
+	got := tc.enc.Decode(tc.dec.Decrypt(res))
+	if e := maxErr(got, want); e > 2e-2 {
+		t.Fatalf("quadratic error %g", e)
+	}
+}
+
+func TestEvalPolyValidation(t *testing.T) {
+	tc := newTestContext(t, nil)
+	pt, _ := tc.enc.Encode([]complex128{1})
+	ct := tc.ctr.Encrypt(pt)
+	if _, err := tc.ev.EvalPoly(ct, nil, tc.enc); err == nil {
+		t.Error("expected empty-polynomial error")
+	}
+	if _, err := tc.ev.EvalPoly(ct, []float64{5}, tc.enc); err == nil {
+		t.Error("expected constant-polynomial error")
+	}
+	low, _ := tc.ev.DropLevel(ct, 1)
+	if _, err := tc.ev.EvalPoly(low, []float64{0, 1, 2, 3}, tc.enc); err == nil {
+		t.Error("expected insufficient-levels error")
+	}
+}
+
+func TestInnerSum(t *testing.T) {
+	count := 8
+	tc := newTestContext(t, InnerSumRotations(1, count))
+	rng := rand.New(rand.NewSource(72))
+	z := randomSlots(rng, tc.p.Slots())
+	pt, _ := tc.enc.Encode(z)
+	ct := tc.ctr.Encrypt(pt)
+
+	sum, err := tc.ev.InnerSum(ct, 1, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, len(z))
+	for i := range want {
+		for k := 0; k < count; k++ {
+			want[i] += z[(i+k)%len(z)]
+		}
+	}
+	got := tc.enc.Decode(tc.dec.Decrypt(sum))
+	if e := maxErr(got, want); e > 5e-2 {
+		t.Fatalf("InnerSum error %g", e)
+	}
+
+	if _, err := tc.ev.InnerSum(ct, 1, 3); err == nil {
+		t.Error("expected power-of-two error")
+	}
+	if rots := InnerSumRotations(2, 8); len(rots) != 3 || rots[0] != 2 || rots[2] != 8 {
+		t.Errorf("InnerSumRotations wrong: %v", rots)
+	}
+}
+
+func TestMulByConst(t *testing.T) {
+	tc := newTestContext(t, nil)
+	rng := rand.New(rand.NewSource(73))
+	z := randomSlots(rng, tc.p.Slots())
+	pt, _ := tc.enc.Encode(z)
+	ct := tc.ctr.Encrypt(pt)
+
+	// Integer constant: free (no level consumed).
+	by3, err := tc.ev.MulByConst(ct, 3, tc.enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if by3.Level != ct.Level {
+		t.Fatalf("integer constant consumed a level")
+	}
+	want := make([]complex128, len(z))
+	for i := range want {
+		want[i] = 3 * z[i]
+	}
+	got := tc.enc.Decode(tc.dec.Decrypt(by3))
+	if e := maxErr(got, want); e > 1e-3 {
+		t.Fatalf("×3 error %g", e)
+	}
+
+	// Fractional constant: one level.
+	byHalf, err := tc.ev.MulByConst(ct, 0.5, tc.enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byHalf.Level != ct.Level-1 {
+		t.Fatalf("fractional constant should consume one level")
+	}
+	for i := range want {
+		want[i] = 0.5 * z[i]
+	}
+	got = tc.enc.Decode(tc.dec.Decrypt(byHalf))
+	if e := maxErr(got, want); e > 1e-2 {
+		t.Fatalf("×0.5 error %g", e)
+	}
+}

@@ -1,0 +1,93 @@
+package ckks
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"cross/internal/ring"
+)
+
+// Binary containers for ciphertexts and keys. Each container embeds the
+// ring.Poly wire format and its own small header. Parameters themselves
+// are not serialised — both endpoints of an HE protocol share them out
+// of band (the standard deployment model the paper's Fig. 1 shows).
+
+const ctMagic uint32 = 0x74435243 // "CRCt"
+
+// WriteTo serialises the ciphertext (level, scale, c0, c1).
+func (ct *Ciphertext) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:], ctMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(ct.Level))
+	binary.LittleEndian.PutUint64(hdr[8:], math.Float64bits(ct.Scale))
+	n, err := w.Write(hdr)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	for _, p := range []interface {
+		WriteTo(io.Writer) (int64, error)
+	}{ct.C0, ct.C1} {
+		m, err := p.WriteTo(w)
+		written += m
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// ReadCiphertext deserialises a ciphertext.
+func ReadCiphertext(r io.Reader) (*Ciphertext, error) {
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != ctMagic {
+		return nil, fmt.Errorf("ckks: bad ciphertext magic")
+	}
+	ct := &Ciphertext{
+		Level: int(binary.LittleEndian.Uint32(hdr[4:])),
+		Scale: math.Float64frombits(binary.LittleEndian.Uint64(hdr[8:])),
+	}
+	ct.C0 = new(ring.Poly)
+	ct.C1 = new(ring.Poly)
+	if _, err := ct.C0.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	if _, err := ct.C1.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	if ct.C0.Level() != ct.Level || ct.C1.Level() != ct.Level {
+		return nil, fmt.Errorf("ckks: ciphertext level %d does not match polynomial limbs", ct.Level)
+	}
+	return ct, nil
+}
+
+// Validate performs structural sanity checks against a parameter set —
+// the receiving party's defence before operating on foreign data.
+func (ct *Ciphertext) Validate(p *Parameters) error {
+	if ct.Level < 0 || ct.Level > p.MaxLevel() {
+		return fmt.Errorf("ckks: level %d outside [0, %d]", ct.Level, p.MaxLevel())
+	}
+	if ct.C0.N() != p.N() || ct.C1.N() != p.N() {
+		return fmt.Errorf("ckks: degree mismatch")
+	}
+	if ct.Scale <= 0 || math.IsNaN(ct.Scale) || math.IsInf(ct.Scale, 0) {
+		return fmt.Errorf("ckks: invalid scale %v", ct.Scale)
+	}
+	for i := 0; i <= ct.Level; i++ {
+		q := p.RingQP.Moduli[i].Q
+		for _, poly := range []*ring.Poly{ct.C0, ct.C1} {
+			for _, v := range poly.Coeffs[i] {
+				if v >= q {
+					return fmt.Errorf("ckks: limb %d residue %d ≥ q", i, v)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package ckks
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestCiphertextSerializeRoundTrip(t *testing.T) {
+	tc := newTestContext(t, nil)
+	rng := rand.New(rand.NewSource(40))
+	z := randomSlots(rng, tc.p.Slots())
+	pt, _ := tc.enc.Encode(z)
+	ct := tc.ctr.Encrypt(pt)
+
+	var buf bytes.Buffer
+	n, err := ct.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	back, err := ReadCiphertext(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Level != ct.Level || back.Scale != ct.Scale {
+		t.Fatal("header fields lost")
+	}
+	if !back.C0.Equal(ct.C0) || !back.C1.Equal(ct.C1) {
+		t.Fatal("polynomials corrupted")
+	}
+	// The deserialised ciphertext must still decrypt correctly.
+	got := tc.enc.Decode(tc.dec.Decrypt(back))
+	if e := maxErr(got, z); e > 1e-4 {
+		t.Fatalf("post-round-trip decrypt error %g", e)
+	}
+}
+
+func TestCiphertextSerializeAfterOps(t *testing.T) {
+	// Serialise a lower-level ciphertext (post mult+rescale).
+	tc := newTestContext(t, nil)
+	rng := rand.New(rand.NewSource(41))
+	z := randomSlots(rng, tc.p.Slots())
+	pt, _ := tc.enc.Encode(z)
+	ct := tc.ctr.Encrypt(pt)
+	prod, err := tc.ev.MulRelin(ct, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ = tc.ev.Rescale(prod)
+
+	var buf bytes.Buffer
+	if _, err := prod.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCiphertext(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, len(z))
+	for i := range want {
+		want[i] = z[i] * z[i]
+	}
+	got := tc.enc.Decode(tc.dec.Decrypt(back))
+	if e := maxErr(got, want); e > 1e-2 {
+		t.Fatalf("post-op round trip error %g", e)
+	}
+}
+
+func TestReadCiphertextRejectsGarbage(t *testing.T) {
+	if _, err := ReadCiphertext(bytes.NewReader([]byte("not a ciphertext at all..."))); err == nil {
+		t.Error("expected magic error")
+	}
+	if _, err := ReadCiphertext(bytes.NewReader(nil)); err == nil {
+		t.Error("expected EOF error")
+	}
+	// Truncated payload.
+	tc := newTestContext(t, nil)
+	pt, _ := tc.enc.Encode([]complex128{1})
+	ct := tc.ctr.Encrypt(pt)
+	var buf bytes.Buffer
+	if _, err := ct.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadCiphertext(bytes.NewReader(trunc)); err == nil {
+		t.Error("expected truncation error")
+	}
+}
+
+func TestCiphertextValidate(t *testing.T) {
+	tc := newTestContext(t, nil)
+	pt, _ := tc.enc.Encode([]complex128{1})
+	ct := tc.ctr.Encrypt(pt)
+	if err := ct.Validate(tc.p); err != nil {
+		t.Fatalf("fresh ciphertext invalid: %v", err)
+	}
+	bad := ct.CopyNew()
+	bad.Scale = -1
+	if err := bad.Validate(tc.p); err == nil {
+		t.Error("expected scale error")
+	}
+	bad = ct.CopyNew()
+	bad.Level = 99
+	if err := bad.Validate(tc.p); err == nil {
+		t.Error("expected level error")
+	}
+	bad = ct.CopyNew()
+	bad.C0.Coeffs[0][0] = ^uint64(0) // out-of-range residue
+	if err := bad.Validate(tc.p); err == nil {
+		t.Error("expected residue-range error")
+	}
+}
+
+// Failure injection: decrypting with the wrong key or tampering with
+// ciphertext bits must scramble the message, never silently succeed.
+func TestWrongKeyDecryptsGarbage(t *testing.T) {
+	tc := newTestContext(t, nil)
+	z := []complex128{1, 2, 3, 4}
+	pt, _ := tc.enc.Encode(z)
+	ct := tc.ctr.Encrypt(pt)
+
+	otherKG := NewKeyGenerator(tc.p, 999)
+	otherSK := otherKG.GenSecretKey()
+	wrongDec := NewDecryptor(tc.p, otherSK)
+	got := tc.enc.Decode(wrongDec.Decrypt(ct))
+	want := make([]complex128, tc.p.Slots())
+	copy(want, z)
+	if e := maxErr(got, want); e < 1 {
+		t.Fatalf("wrong-key decryption suspiciously accurate (err %g)", e)
+	}
+}
+
+func TestTamperedCiphertextScrambles(t *testing.T) {
+	tc := newTestContext(t, nil)
+	z := []complex128{5, 6, 7}
+	pt, _ := tc.enc.Encode(z)
+	ct := tc.ctr.Encrypt(pt)
+	tampered := ct.CopyNew()
+	m := tc.p.RingQP.Moduli[0]
+	tampered.C0.Coeffs[0][0] = m.AddMod(tampered.C0.Coeffs[0][0], m.Q/2)
+	got := tc.enc.Decode(tc.dec.Decrypt(tampered))
+	want := make([]complex128, tc.p.Slots())
+	copy(want, z)
+	if e := maxErr(got, want); e < 1e-3 {
+		t.Fatalf("tampering went unnoticed (err %g)", e)
+	}
+}

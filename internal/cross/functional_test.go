@@ -1,0 +1,169 @@
+package cross
+
+import (
+	"math/rand"
+	"testing"
+
+	"cross/internal/modarith"
+	"cross/internal/ring"
+	"cross/internal/rns"
+)
+
+func funcTestRing(t testing.TB, n, limbs int) *ring.Ring {
+	t.Helper()
+	primes, err := modarith.GenerateNTTPrimes(28, uint64(n), limbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ring.MustRing(n, primes)
+}
+
+func TestNTTExecutorMatchesPlan(t *testing.T) {
+	// The full CROSS lowering (uint8 MXU arithmetic + VPU merges) must
+	// be bit-identical to the word-level MAT NTT — which is itself
+	// bit-identical to radix-2. This closes the chain
+	// MXU-int8 ≡ MAT ≡ radix-2 ≡ naive.
+	rng := rand.New(rand.NewSource(1))
+	for _, order := range []ring.Layout{ring.LayoutDigitSwap, ring.LayoutBitRev} {
+		for _, tc := range []struct{ n, r, c int }{{64, 8, 8}, {256, 16, 16}, {256, 4, 64}} {
+			rg := funcTestRing(t, tc.n, 2)
+			plan, err := ring.NewMatNTTPlan(rg, tc.r, tc.c, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ex, err := NewNTTExecutor(rg, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range rg.Moduli {
+				in := make([]uint64, tc.n)
+				for k := range in {
+					in[k] = rng.Uint64() % rg.Moduli[i].Q
+				}
+				want := make([]uint64, tc.n)
+				plan.ForwardLimb(i, in, want)
+				got, err := ex.ForwardLimb(i, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for k := range got {
+					if got[k] != want[k] {
+						t.Fatalf("N=%d (R=%d,C=%d) order=%v limb=%d slot=%d: MXU-int8 %d, word-level %d",
+							tc.n, tc.r, tc.c, order, i, k, got[k], want[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNTTExecutorForwardPoly(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rg := funcTestRing(t, 128, 3)
+	plan, err := ring.NewMatNTTPlan(rg, 8, 16, ring.LayoutBitRev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewNTTExecutor(rg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rg.NewPoly()
+	for i, m := range rg.Moduli {
+		for k := range p.Coeffs[i] {
+			p.Coeffs[i][k] = rng.Uint64() % m.Q
+		}
+	}
+	want := p.CopyNew()
+	rg.NTT(want) // radix-2, bit-reversed output
+	if err := ex.Forward(p); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(want) {
+		t.Fatal("BAT-executed NTT poly differs from radix-2 NTT")
+	}
+}
+
+func TestNTTExecutorInputValidation(t *testing.T) {
+	rg := funcTestRing(t, 64, 1)
+	plan, err := ring.NewMatNTTPlan(rg, 8, 8, ring.LayoutDigitSwap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewNTTExecutor(rg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.ForwardLimb(0, make([]uint64, 32)); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}
+
+func TestBConvStep2BATMatchesConverter(t *testing.T) {
+	n := uint64(1 << 10)
+	qs, err := modarith.GenerateNTTPrimes(28, n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := modarith.GenerateNTTPrimesAvoiding(28, n, 3, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := rns.MustBasis(qs)
+	to := rns.MustBasis(ps)
+	conv, err := rns.NewConverter(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	cols := 32
+	y := rns.AllocLimbs(from.L(), cols)
+	for i, m := range from.Moduli {
+		for k := range y[i] {
+			y[i][k] = rng.Uint64() % m.Q
+		}
+	}
+	want := rns.AllocLimbs(to.L(), cols)
+	conv.Step2(want, y)
+
+	got, err := BConvStep2BAT(to.Moduli, conv.Table(), y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		for k := range want[j] {
+			if got[j][k] != want[j][k] {
+				t.Fatalf("limb %d coeff %d: BAT %d converter %d", j, k, got[j][k], want[j][k])
+			}
+		}
+	}
+}
+
+func TestBConvStep2BATValidation(t *testing.T) {
+	m := modarith.MustModulus(12289)
+	if _, err := BConvStep2BAT([]*modarith.Modulus{m}, nil, [][]uint64{{1}}); err == nil {
+		t.Error("expected moduli/table mismatch error")
+	}
+	if _, err := BConvStep2BAT(nil, nil, nil); err == nil {
+		t.Error("expected empty-source error")
+	}
+}
+
+func TestExecuteVecModMulConv1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rg := funcTestRing(t, 64, 1)
+	m := rg.Moduli[0]
+	a := make([]uint64, 64)
+	b := make([]uint64, 64)
+	for i := range a {
+		a[i], b[i] = rng.Uint64()%m.Q, rng.Uint64()%m.Q
+	}
+	dst := make([]uint64, 64)
+	ExecuteVecModMulConv1D(rg, 0, dst, a, b)
+	for i := range dst {
+		if dst[i] != m.MulMod(a[i], b[i]) {
+			t.Fatalf("conv1d fallback wrong at %d", i)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package cross
+
+// HE operator lowering (§III-A's Scheduling layer). Each CKKS operator
+// is a fixed schedule of HE kernels; CROSS lowers every kernel with
+// BAT+MAT and the simulator accumulates per-category time, regenerating
+// the operator latencies of Tab. VIII and the breakdowns of Fig. 12.
+//
+// The schedules implement full-RNS CKKS with hybrid key switching
+// (Han–Ki, [37]): L ciphertext limbs split into dnum digits of
+// α = ⌈L/dnum⌉ limbs each, with α auxiliary (special) primes P.
+
+// KeySwitchCounts tallies the kernel invocations of one hybrid key
+// switch at level L — exposed so tests can check the schedule against
+// the textbook operation counts.
+type KeySwitchCounts struct {
+	INTTLimbs int // limbs inverse-transformed (digit extraction + ModDown)
+	NTTLimbs  int // limbs forward-transformed (ModUp + ModDown)
+	BConvIn   int // total source limbs across basis conversions
+	BConvOut  int // total destination limbs
+	VecMulN   int // N-length modular multiplications (evk inner product…)
+	VecAddN   int // N-length modular additions
+}
+
+// keySwitchCounts derives the schedule for the configured params.
+func (c *Compiler) keySwitchCounts() KeySwitchCounts {
+	l := c.P.L
+	alpha := c.P.Alpha()
+	dnum := c.P.Dnum
+	ext := l + alpha // limbs after ModUp (Q ∪ P)
+
+	var k KeySwitchCounts
+	// Per digit: extract α limbs to coefficient domain, convert to the
+	// remaining L−α+α = L extended limbs, transform back.
+	k.INTTLimbs += dnum * alpha
+	k.BConvIn += dnum * alpha
+	k.BConvOut += dnum * (ext - alpha)
+	k.NTTLimbs += dnum * (ext - alpha)
+	// Inner product with the two evk polynomials over the extended
+	// basis, accumulated across digits.
+	k.VecMulN += dnum * 2 * ext
+	k.VecAddN += (dnum - 1) * 2 * ext
+	// ModDown for both result polynomials: INTT the α special limbs,
+	// convert to Q, NTT, subtract, multiply by P⁻¹.
+	k.INTTLimbs += 2 * alpha
+	k.BConvIn += 2 * alpha
+	k.BConvOut += 2 * l
+	k.NTTLimbs += 2 * l
+	k.VecMulN += 2 * l
+	k.VecAddN += 2 * l
+	return k
+}
+
+// CostKeySwitch charges one hybrid key switch and returns its time.
+func (c *Compiler) CostKeySwitch() float64 {
+	n := c.P.N()
+	alpha := c.P.Alpha()
+	dnum := c.P.Dnum
+	l := c.P.L
+	ext := l + alpha
+
+	var t float64
+	// Digit loop: INTT(α) → BConv(α → ext−α) → NTT(ext−α).
+	for d := 0; d < dnum; d++ {
+		t += c.CostINTTMat(alpha)
+		t += c.CostBConv(n, alpha, ext-alpha, true)
+		t += c.CostNTTMat(ext - alpha)
+	}
+	// evk inner product.
+	t += c.CostVecModMul(dnum * 2 * ext * n)
+	t += c.CostVecModAdd((dnum - 1) * 2 * ext * n)
+	// ModDown ×2 polys.
+	for p := 0; p < 2; p++ {
+		t += c.CostINTTMat(alpha)
+		t += c.CostBConv(n, alpha, l, true)
+		t += c.CostNTTMat(l)
+		t += c.CostVecModAdd(l * n) // subtract
+		t += c.CostVecModMul(l * n) // × P⁻¹ mod q_i
+	}
+	return t
+}
+
+// CostHEAdd charges a ciphertext addition (2 polys × L limbs).
+func (c *Compiler) CostHEAdd() float64 {
+	return c.CostVecModAdd(2 * c.P.L * c.P.N())
+}
+
+// CostHEMult charges a full ciphertext multiplication: tensor product,
+// relinearisation (key switch), and rescale (§III-A HE Multiplication).
+func (c *Compiler) CostHEMult() float64 {
+	n := c.P.N()
+	l := c.P.L
+	// Tensor product: d0 = a₁a₂, d2 = b₁b₂, d1 = a₁b₂ + a₂b₁.
+	t := c.CostVecModMul(4 * l * n)
+	t += c.CostVecModAdd(l * n)
+	// Relinearise d2.
+	t += c.CostKeySwitch()
+	// Combine and rescale.
+	t += c.CostVecModAdd(2 * l * n)
+	t += c.CostRescale()
+	return t
+}
+
+// CostRescale charges one rescaling: drop the top limb of both polys —
+// INTT(top limb), BConv(1 → L−1), NTT(L−1), then subtract and scale.
+func (c *Compiler) CostRescale() float64 {
+	n := c.P.N()
+	l := c.P.L
+	var t float64
+	for p := 0; p < 2; p++ {
+		t += c.CostINTTMat(1)
+		t += c.CostBConv(n, 1, l-1, true)
+		t += c.CostNTTMat(l - 1)
+		t += c.CostVecModAdd((l - 1) * n)
+		t += c.CostVecModMul((l - 1) * n) // × q_L⁻¹ mod q_i
+	}
+	return t
+}
+
+// CostRotate charges a slot rotation: the automorphism permutation on
+// both polynomials (the gather MAT cannot embed, §V-E) plus a key
+// switch with the rotation key.
+func (c *Compiler) CostRotate() float64 {
+	t := c.CostAutomorphism(2 * c.P.L)
+	t += c.CostKeySwitch()
+	return t
+}
+
+// CostConjugate is a rotation by the conjugation Galois element — the
+// same lowering as CostRotate.
+func (c *Compiler) CostConjugate() float64 { return c.CostRotate() }
+
+// CostPtMul charges a plaintext-ciphertext multiplication (2 polys ×
+// L limbs VecModMul, no key switch).
+func (c *Compiler) CostPtMul() float64 {
+	return c.CostVecModMul(2 * c.P.L * c.P.N())
+}
+
+// CostPtAdd charges a plaintext-ciphertext addition.
+func (c *Compiler) CostPtAdd() float64 {
+	return c.CostVecModAdd(c.P.L * c.P.N())
+}
+
+// HEOpLatencies bundles the four benchmark operators of Tab. VIII.
+type HEOpLatencies struct {
+	Add, Mult, Rescale, Rotate float64 // seconds
+}
+
+// MeasureHEOps costs all four operators trace-isolated.
+func (c *Compiler) MeasureHEOps() HEOpLatencies {
+	return HEOpLatencies{
+		Add:     c.snapshot(c.CostHEAdd),
+		Mult:    c.snapshot(c.CostHEMult),
+		Rescale: c.snapshot(c.CostRescale),
+		Rotate:  c.snapshot(c.CostRotate),
+	}
+}
+
+// BootstrapSchedule is the kernel-count schedule of the packed
+// bootstrapping algorithm the paper adopts (MAD [3]): BSGS linear
+// transforms for CoeffToSlot/SlotToCoeff plus a polynomial EvalMod.
+// Counts follow the paper's §V-A estimation methodology — total kernel
+// invocations × profiled per-kernel latency, no pipelining or fusion.
+type BootstrapSchedule struct {
+	Rotations int // slot rotations across CtS + StC (BSGS)
+	Mults     int // ciphertext-ciphertext multiplications (EvalMod)
+	PtMuls    int // plaintext multiplications (diagonal matrices, poly coeffs)
+	Adds      int // ciphertext additions
+	Rescales  int // standalone rescalings
+}
+
+// DefaultBootstrapSchedule returns the MAD packed-bootstrapping
+// operator budget: CoeffToSlot and SlotToCoeff as multi-level BSGS
+// linear transforms with hoisted rotations (≈ logN rotations per level
+// after hoisting), and EvalMod as a Paterson–Stockmeyer sine
+// approximation (≈ logN + 4 ciphertext multiplications). Counts grow
+// logarithmically with degree, matching the memory-aware design of [3]
+// rather than a naive √N-rotation transform.
+func DefaultBootstrapSchedule(p Params) BootstrapSchedule {
+	rot := 2*p.LogN + 32 // CtS + StC rotations after hoisting
+	return BootstrapSchedule{
+		Rotations: rot,
+		Mults:     p.LogN + 4, // EvalMod (Paterson–Stockmeyer)
+		PtMuls:    2*rot + 16,
+		Adds:      2*rot + 32,
+		Rescales:  24,
+	}
+}
+
+// CostBootstrap charges one packed bootstrapping.
+func (c *Compiler) CostBootstrap(s BootstrapSchedule) float64 {
+	var t float64
+	for i := 0; i < s.Rotations; i++ {
+		t += c.CostRotate()
+	}
+	for i := 0; i < s.Mults; i++ {
+		t += c.CostHEMult()
+	}
+	for i := 0; i < s.PtMuls; i++ {
+		t += c.CostPtMul()
+	}
+	for i := 0; i < s.Adds; i++ {
+		t += c.CostHEAdd()
+	}
+	for i := 0; i < s.Rescales; i++ {
+		t += c.CostRescale()
+	}
+	return t
+}

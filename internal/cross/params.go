@@ -1,0 +1,149 @@
+// Package cross is the paper's primary contribution: the compiler that
+// lowers CKKS HE kernels onto an AI accelerator by (1) BAT — rewriting
+// high-precision modular arithmetic as dense INT8 matrix multiplication
+// for the MXU — and (2) MAT — embedding every embeddable reordering into
+// offline parameters so kernels are layout-invariant (§IV).
+//
+// The package has two faces:
+//
+//   - a lowering/cost face: each HE kernel (NTT, INTT, BConv, VecMod*,
+//     automorphism) is lowered to a stream of tpusim operations under
+//     either the CROSS strategy or the SoTA-GPU baseline strategy, and
+//     the simulated latency is returned (this regenerates Tab. V–X and
+//     the figures);
+//   - a functional face: the same plans execute bit-exactly on the CPU
+//     through internal/ring and internal/bat, which is how every
+//     lowering is verified against the naive oracles.
+package cross
+
+import (
+	"fmt"
+
+	"cross/internal/bat"
+	"cross/internal/modarith"
+)
+
+// Params fixes one CKKS security/performance configuration (Tab. IV).
+type Params struct {
+	LogN int  // ring degree exponent; N = 1 << LogN
+	LogQ uint // bits per RNS prime (28 in every paper set)
+	L    int  // number of ciphertext-modulus limbs
+	Dnum int  // hybrid key-switching digit count
+	// R, C split the layout-invariant 3-step NTT; R·C must equal N.
+	R, C int
+	// Red selects the VPU modular-reduction algorithm (Fig. 13).
+	Red modarith.ReduceAlgorithm
+}
+
+// N returns the ring degree.
+func (p Params) N() int { return 1 << p.LogN }
+
+// K returns the number of 8-bit chunks per coefficient (Tab. I).
+func (p Params) K() int { return bat.NumChunks(p.LogQ) }
+
+// Alpha returns the limbs per key-switching digit, ⌈L/dnum⌉.
+func (p Params) Alpha() int {
+	if p.Dnum <= 0 {
+		return p.L
+	}
+	return (p.L + p.Dnum - 1) / p.Dnum
+}
+
+// Validate checks internal consistency.
+func (p Params) Validate() error {
+	if p.LogN < 3 || p.LogN > 17 {
+		return fmt.Errorf("cross: LogN %d outside [3, 17]", p.LogN)
+	}
+	if p.LogQ < 10 || p.LogQ > 32 {
+		return fmt.Errorf("cross: LogQ %d outside BAT's [10, 32] range", p.LogQ)
+	}
+	if p.L < 1 {
+		return fmt.Errorf("cross: L must be ≥ 1")
+	}
+	if p.Dnum < 1 || p.Dnum > p.L {
+		return fmt.Errorf("cross: dnum %d outside [1, L=%d]", p.Dnum, p.L)
+	}
+	if p.R*p.C != p.N() {
+		return fmt.Errorf("cross: split %d×%d does not cover N=%d", p.R, p.C, p.N())
+	}
+	if p.R < 2 || p.C < 2 || p.R&(p.R-1) != 0 || p.C&(p.C-1) != 0 {
+		return fmt.Errorf("cross: split factors (%d, %d) must be powers of two ≥ 2", p.R, p.C)
+	}
+	return nil
+}
+
+// WithSplit returns a copy with a different (R, C) NTT split — the
+// sweep dimension of the §V-A configuration search.
+func (p Params) WithSplit(r, c int) Params {
+	p.R, p.C = r, c
+	return p
+}
+
+// defaultSplit picks (128, N/128), the paper's standalone-NTT choice
+// that pins one dimension to the lane count (§V-A).
+func defaultSplit(logN int) (int, int) {
+	n := 1 << logN
+	r := 128
+	if n/r < 2 {
+		r = n / 2
+	}
+	return r, n / r
+}
+
+// SetA..SetD are the paper's parameter sets (Tab. IV).
+func SetA() Params {
+	r, c := defaultSplit(12)
+	return Params{LogN: 12, LogQ: 28, L: 4, Dnum: 3, R: r, C: c, Red: modarith.Montgomery}
+}
+
+// SetB is N=2^13, L=8.
+func SetB() Params {
+	r, c := defaultSplit(13)
+	return Params{LogN: 13, LogQ: 28, L: 8, Dnum: 3, R: r, C: c, Red: modarith.Montgomery}
+}
+
+// SetC is N=2^14, L=15.
+func SetC() Params {
+	r, c := defaultSplit(14)
+	return Params{LogN: 14, LogQ: 28, L: 15, Dnum: 3, R: r, C: c, Red: modarith.Montgomery}
+}
+
+// SetD is N=2^16, L=51 — the default CROSS configuration (§V-A).
+func SetD() Params {
+	r, c := defaultSplit(16)
+	return Params{LogN: 16, LogQ: 28, L: 51, Dnum: 3, R: r, C: c, Red: modarith.Montgomery}
+}
+
+// NamedSet resolves "A".."D".
+func NamedSet(name string) (Params, error) {
+	switch name {
+	case "A":
+		return SetA(), nil
+	case "B":
+		return SetB(), nil
+	case "C":
+		return SetC(), nil
+	case "D":
+		return SetD(), nil
+	default:
+		return Params{}, fmt.Errorf("cross: unknown parameter set %q", name)
+	}
+}
+
+// SplitCandidates returns the (R, C) pairs the paper sweeps for HE
+// operator evaluation: {(128,512),(256,256),(512,128)} at N=2^16,
+// scaled analogously for other degrees.
+func (p Params) SplitCandidates() [][2]int {
+	n := p.N()
+	var out [][2]int
+	for r := 64; r <= 1024; r <<= 1 {
+		c := n / r
+		if c >= 64 && r*c == n {
+			out = append(out, [2]int{r, c})
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, [2]int{p.R, p.C})
+	}
+	return out
+}

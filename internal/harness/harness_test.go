@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllReportsRenderWithoutViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report regeneration is slow")
+	}
+	reports := AllReports()
+	if len(reports) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(reports))
+	}
+	for _, r := range reports {
+		if r.ID == "" || r.Title == "" || r.Body == "" {
+			t.Errorf("%s: incomplete report", r.ID)
+		}
+		if strings.Contains(r.Notes, "VIOLATED") {
+			t.Errorf("%s: shape check failed: %s", r.ID, r.Notes)
+		}
+		if !strings.Contains(r.String(), r.Title) {
+			t.Errorf("%s: String() missing title", r.ID)
+		}
+	}
+}
+
+func TestReportByID(t *testing.T) {
+	for _, id := range []string{"Table V", "tablev", "Fig 11b", "fig11b", "TABLE X"} {
+		if _, ok := ReportByID(id); !ok {
+			t.Errorf("ReportByID(%q) not found", id)
+		}
+	}
+	if _, ok := ReportByID("Table Z"); ok {
+		t.Error("found nonexistent report")
+	}
+	ids := IDs()
+	if len(ids) != 14 {
+		t.Errorf("IDs() returned %d entries", len(ids))
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := newTable("a", "bb")
+	tb.row("1", "2")
+	tb.row("333", "4")
+	s := tb.String()
+	if !strings.Contains(s, "a") || !strings.Contains(s, "333") {
+		t.Error("table formatting broken")
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Errorf("table has %d lines", len(lines))
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean(4, 9); g < 5.9 || g > 6.1 {
+		t.Errorf("geomean(4,9) = %f", g)
+	}
+	if g := geomean(0, 0); g != 0 {
+		t.Errorf("geomean of zeros = %f", g)
+	}
+	if g := geomean(5, 0); g != 5 {
+		t.Errorf("geomean should skip zeros, got %f", g)
+	}
+}
+
+func TestIndividualReportsFast(t *testing.T) {
+	// The cheap reports run even in -short mode.
+	for _, f := range []func() Report{Fig5, TableV, TableVI, Fig12} {
+		r := f()
+		if strings.Contains(r.Notes, "VIOLATED") {
+			t.Errorf("%s: %s", r.ID, r.Notes)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"fmt"
+
+	"cross/internal/cross"
+	"cross/internal/tpusim"
+)
+
+// ParamSweep regenerates §V-C(c) "Effects of Security Parameters":
+// increasing either the total limb count L or the digit number dnum
+// increases the required computation and hence HE-Mult/Rotate latency
+// on the TPU. This is also the ablation for design choice #6 of
+// DESIGN.md §5.
+func ParamSweep() Report {
+	t := newTable("L", "dnum", "alpha", "Mult µs", "Rotate µs")
+	base := cross.SetD()
+
+	limbMono := true
+	var prevMult float64
+	for _, l := range []int{24, 36, 51, 64} {
+		p := base
+		p.L = l
+		c := newCompiler(tpusim.TPUv6e(), p)
+		ops := c.MeasureHEOps()
+		if ops.Mult <= prevMult {
+			limbMono = false
+		}
+		prevMult = ops.Mult
+		t.row(fmt.Sprint(l), fmt.Sprint(p.Dnum), fmt.Sprint(p.Alpha()),
+			us(ops.Mult), us(ops.Rotate))
+	}
+
+	dnumMono := true
+	prevMult = 0
+	for _, dnum := range []int{1, 2, 3, 6, 12} {
+		p := base
+		p.Dnum = dnum
+		c := newCompiler(tpusim.TPUv6e(), p)
+		ops := c.MeasureHEOps()
+		if dnum > 1 && ops.Mult <= prevMult {
+			dnumMono = false
+		}
+		prevMult = ops.Mult
+		t.row(fmt.Sprint(p.L), fmt.Sprint(dnum), fmt.Sprint(p.Alpha()),
+			us(ops.Mult), us(ops.Rotate))
+	}
+
+	notes := "latency grows with both the limb count and the digit number (§V-C-c) — more limbs mean more kernels, more digits mean more ModUp transforms"
+	if !limbMono || !dnumMono {
+		notes = "VIOLATED: latency not monotone in L or dnum"
+	}
+	return Report{ID: "Param Sweep", Title: "Effects of security parameters (TPUv6e, §V-C-c)", Body: t.String(), Notes: notes}
+}

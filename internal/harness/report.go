@@ -1,0 +1,168 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation section (§V) from the reproduction's simulator and
+// functional kernels, rendering paper-reported values side by side with
+// measured ones. cmd/crossbench is a thin CLI over this package, and
+// EXPERIMENTS.md is generated from its output.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cross/internal/cross"
+	"cross/internal/tpusim"
+)
+
+// Report is one regenerated experiment.
+type Report struct {
+	ID    string // e.g. "Table V"
+	Title string
+	Body  string // preformatted rows
+	Notes string // fidelity commentary (what should and does hold)
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	b.WriteString(r.Body)
+	if r.Notes != "" {
+		b.WriteString("shape check: " + r.Notes + "\n")
+	}
+	return b.String()
+}
+
+// table accumulates aligned columns.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(cols ...string) *table { return &table{header: cols} }
+
+func (t *table) row(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		widths[i] = w
+		b.WriteString(strings.Repeat("-", w) + "  ")
+	}
+	b.WriteString("\n")
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func us(seconds float64) string { return fmt.Sprintf("%.2f", seconds*1e6) }
+
+func geomean(vals ...float64) float64 {
+	prod := 1.0
+	n := 0
+	for _, v := range vals {
+		if v > 0 {
+			prod *= v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n))
+}
+
+// newCompiler builds a compiler or panics (harness-internal misuse).
+func newCompiler(spec tpusim.Spec, p cross.Params) *cross.Compiler {
+	c, err := cross.New(tpusim.NewDevice(spec), p)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	return c
+}
+
+// bestSplit sweeps the paper's (R,C) candidates and returns the
+// compiler with the fastest HE-Mult (§V-A: "we sweep three (R,C)
+// configurations and report results using the best-performing one").
+func bestSplit(spec tpusim.Spec, p cross.Params) *cross.Compiler {
+	best := newCompiler(spec, p)
+	bestT := best.Snapshot(best.CostHEMult)
+	for _, rc := range p.SplitCandidates() {
+		cand, err := cross.New(tpusim.NewDevice(spec), p.WithSplit(rc[0], rc[1]))
+		if err != nil {
+			continue
+		}
+		if t := cand.Snapshot(cand.CostHEMult); t < bestT {
+			best, bestT = cand, t
+		}
+	}
+	return best
+}
+
+// AllReports regenerates the full evaluation section in paper order.
+func AllReports() []Report {
+	return []Report{
+		Fig5(),
+		TableV(),
+		TableVI(),
+		TableVII(),
+		Fig11b(),
+		TableVIII(),
+		Fig12(),
+		TableIX(),
+		Fig13a(),
+		Fig13b(),
+		TableX(),
+		Fig14(),
+		Workloads(),
+		ParamSweep(),
+	}
+}
+
+// ReportByID finds one experiment by its identifier (case-insensitive,
+// e.g. "tableV", "fig11b").
+func ReportByID(id string) (Report, bool) {
+	norm := func(s string) string {
+		s = strings.ToLower(s)
+		s = strings.ReplaceAll(s, " ", "")
+		s = strings.ReplaceAll(s, ".", "")
+		return s
+	}
+	want := norm(id)
+	for _, r := range AllReports() {
+		if norm(r.ID) == want {
+			return r, true
+		}
+	}
+	return Report{}, false
+}
+
+// IDs lists the available experiment identifiers.
+func IDs() []string {
+	var out []string
+	for _, r := range AllReports() {
+		out = append(out, r.ID)
+	}
+	sort.Strings(out)
+	return out
+}

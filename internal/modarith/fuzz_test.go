@@ -1,0 +1,40 @@
+package modarith
+
+import "testing"
+
+func FuzzReductionsAgree(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(1), ^uint64(0))
+	f.Add(uint64(268369920), uint64(268369920))
+	m := MustModulus(268369921)
+	f.Fuzz(func(t *testing.T, a, b uint64) {
+		a %= m.Q
+		b %= m.Q
+		barrett := m.BarrettMul(a, b)
+		mont := m.MontgomeryMulFull(a, m.ToMontgomery(b))
+		shoup := m.ShoupMulFull(a, b, m.ShoupPrecompute(b))
+		if barrett != mont || mont != shoup {
+			t.Fatalf("reductions disagree on %d·%d: barrett=%d mont=%d shoup=%d",
+				a, b, barrett, mont, shoup)
+		}
+	})
+}
+
+func FuzzReduceWide(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(^uint64(0), ^uint64(0))
+	f.Add(uint64(1), uint64(0))
+	m := MustModulus(1152921504606830593)
+	f.Fuzz(func(t *testing.T, hi, lo uint64) {
+		got := m.ReduceWide(hi, lo)
+		if got >= m.Q {
+			t.Fatalf("ReduceWide out of range: %d", got)
+		}
+		// Verify by reconstructing: (hi·2^64 + lo) mod q via repeated
+		// word reduction: hi·(2^64 mod q) + lo ≡ the same residue.
+		want := m.AddMod(m.MulMod(m.Reduce(hi), m.MontR), m.Reduce(lo))
+		if got != want {
+			t.Fatalf("ReduceWide(%d, %d) = %d want %d", hi, lo, got, want)
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package modarith
+
+import "fmt"
+
+// NTT-friendly prime generation. RNS-CKKS needs chains of distinct primes
+// q ≡ 1 (mod 2N) so that R_q = Z_q[x]/(x^N+1) supports a negacyclic NTT
+// (a primitive 2N-th root of unity must exist mod q). The paper's
+// parameter sets (Tab. IV) use 28-bit primes with N up to 2^16.
+
+// GenerateNTTPrimes returns `count` distinct primes of exactly `bitSize`
+// bits satisfying q ≡ 1 (mod 2N). Primes are emitted deterministically,
+// alternating below and above the midpoint 2^(bitSize-1)+2^(bitSize-2)
+// so that the product Q stays close to 2^(count·bitSize) — the same
+// balancing trick HE libraries use to keep the CKKS scale stable across
+// rescaling levels.
+func GenerateNTTPrimes(bitSize uint, n uint64, count int) ([]uint64, error) {
+	if bitSize < 10 || bitSize > MaxModulusBits {
+		return nil, fmt.Errorf("modarith: prime bit size %d out of range [10, %d]", bitSize, MaxModulusBits)
+	}
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("modarith: ring degree %d is not a power of two", n)
+	}
+	m := 2 * n // required residue modulus
+	lo := uint64(1) << (bitSize - 1)
+	hi := uint64(1) << bitSize
+	mid := lo + lo/2
+
+	// First candidate ≡ 1 mod 2N at or below mid.
+	down := mid - (mid-1)%m
+	up := down + m
+
+	primes := make([]uint64, 0, count)
+	seen := make(map[uint64]bool, count)
+	for len(primes) < count {
+		progressed := false
+		if down >= lo+1 {
+			if IsPrime(down) && !seen[down] {
+				primes = append(primes, down)
+				seen[down] = true
+			}
+			if down >= m {
+				down -= m
+				progressed = true
+			}
+		}
+		if len(primes) >= count {
+			break
+		}
+		if up < hi {
+			if IsPrime(up) && !seen[up] {
+				primes = append(primes, up)
+				seen[up] = true
+			}
+			up += m
+			progressed = true
+		}
+		if !progressed {
+			return nil, fmt.Errorf("modarith: exhausted %d-bit range finding %d NTT primes for N=%d", bitSize, count, n)
+		}
+	}
+	return primes[:count], nil
+}
+
+// GenerateNTTPrimesAvoiding is GenerateNTTPrimes that additionally skips
+// any prime present in avoid — used to build auxiliary (special) moduli
+// P coprime to the ciphertext modulus chain Q.
+func GenerateNTTPrimesAvoiding(bitSize uint, n uint64, count int, avoid []uint64) ([]uint64, error) {
+	avoidSet := make(map[uint64]bool, len(avoid))
+	for _, q := range avoid {
+		avoidSet[q] = true
+	}
+	// Over-generate then filter; the 2N-spaced lattice of candidates in a
+	// 28-bit window contains thousands of primes, so count+len(avoid) is
+	// always available for the paper's parameter ranges.
+	raw, err := GenerateNTTPrimes(bitSize, n, count+len(avoid))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, 0, count)
+	for _, q := range raw {
+		if !avoidSet[q] {
+			out = append(out, q)
+			if len(out) == count {
+				return out, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("modarith: could not find %d NTT primes avoiding %d existing ones", count, len(avoid))
+}
+
+// NewModuli maps a prime list to initialised Modulus values.
+func NewModuli(primes []uint64) ([]*Modulus, error) {
+	out := make([]*Modulus, len(primes))
+	for i, q := range primes {
+		m, err := NewModulus(q)
+		if err != nil {
+			return nil, fmt.Errorf("modarith: prime %d: %w", i, err)
+		}
+		out[i] = m
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package modarith
+
+import "math/bits"
+
+// This file implements the three modular-reduction algorithms the paper
+// ablates in Fig. 13 (§V-F2): Barrett (Alg. 4), the optimized Montgomery
+// reduction (Alg. 1) that CROSS maps to the TPU VPU, and Shoup
+// multiplication with precomputed quotients for compile-time-known
+// constants (twiddle factors, CRT primes, key-switch digits).
+//
+// All three share the machine word R = 2^64. The paper's TPU kernels use
+// R = 2^32 on 32-bit VPU lanes; the algorithms are identical and the
+// simulator accounts for the narrower lanes in its cost model, so the Go
+// substrate uses the full word for both speed and generality.
+
+// ReduceAlgorithm selects the reduction flavour used by vectorised
+// kernels and by the CROSS compiler's VPU lowering (Fig. 13 ablation).
+type ReduceAlgorithm int
+
+const (
+	// Barrett is the fully-reducing division-free reduction of Alg. 4.
+	Barrett ReduceAlgorithm = iota
+	// Montgomery is the lazy REDC of Alg. 1 with outputs in [0, 2q).
+	Montgomery
+	// Shoup is constant-multiplication with a precomputed quotient;
+	// it requires the multiplicand to be known in advance.
+	Shoup
+	// BATLazy reformulates reduction as a K×K low-precision MatMul
+	// (§J); it is lowered to the matrix engine rather than the VPU.
+	BATLazy
+)
+
+// String returns the conventional name of the algorithm.
+func (r ReduceAlgorithm) String() string {
+	switch r {
+	case Barrett:
+		return "Barrett"
+	case Montgomery:
+		return "Montgomery"
+	case Shoup:
+		return "Shoup"
+	case BATLazy:
+		return "BATLazy"
+	default:
+		return "Unknown"
+	}
+}
+
+// BarrettReduce reduces the 128-bit product (hi·2^64 + lo) to [0, q)
+// following Alg. 4: one high multiplication by the precomputed
+// ⌊2^128/q⌋ and up to two conditional subtractions.
+func (m *Modulus) BarrettReduce(hi, lo uint64) uint64 {
+	return m.ReduceWide(hi, lo)
+}
+
+// BarrettMul returns (a·b) mod q in [0, q).
+func (m *Modulus) BarrettMul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return m.ReduceWide(hi, lo)
+}
+
+// MontgomeryReduce implements Alg. 1 (optimized Montgomery reduction,
+// REDC): given x = hi·2^64 + lo with x < q·2^64 it returns
+// B ≡ x·2^-64 (mod q) with B in [0, 2q) — the lazy range the paper keeps
+// between pipeline stages (§G).
+func (m *Modulus) MontgomeryReduce(hi, lo uint64) uint64 {
+	// t = (lo · (-q⁻¹)) mod 2^64, then B = (x + t·q) / 2^64.
+	t := lo * m.MontQInvNeg
+	th, tl := bits.Mul64(t, m.Q)
+	_, carry := bits.Add64(lo, tl, 0)
+	return hi + th + carry
+}
+
+// MontgomeryReduceFull is MontgomeryReduce followed by the final
+// conditional subtraction, returning a value in [0, q).
+func (m *Modulus) MontgomeryReduceFull(hi, lo uint64) uint64 {
+	b := m.MontgomeryReduce(hi, lo)
+	if b >= m.Q {
+		b -= m.Q
+	}
+	return b
+}
+
+// ToMontgomery maps a into the Montgomery domain: a·2^64 mod q.
+func (m *Modulus) ToMontgomery(a uint64) uint64 {
+	hi, lo := bits.Mul64(a, m.MontR2)
+	return m.MontgomeryReduceFull(hi, lo)
+}
+
+// FromMontgomery maps ā = a·2^64 mod q back to a.
+func (m *Modulus) FromMontgomery(a uint64) uint64 {
+	return m.MontgomeryReduceFull(0, a)
+}
+
+// MontgomeryMul multiplies a by bMont (a value already in the Montgomery
+// domain, e.g. a precomputed twiddle w·2^64 mod q) and returns
+// a·b mod q in [0, 2q). This is the paper's trick of storing pre-known
+// parameters in the Montgomery domain so runtime data never needs
+// conversion.
+func (m *Modulus) MontgomeryMul(a, bMont uint64) uint64 {
+	hi, lo := bits.Mul64(a, bMont)
+	return m.MontgomeryReduce(hi, lo)
+}
+
+// MontgomeryMulFull is MontgomeryMul with the final correction to [0, q).
+func (m *Modulus) MontgomeryMulFull(a, bMont uint64) uint64 {
+	b := m.MontgomeryMul(a, bMont)
+	if b >= m.Q {
+		b -= m.Q
+	}
+	return b
+}
+
+// ShoupPrecompute returns the Shoup quotient w' = ⌊w·2^64 / q⌋ for a
+// constant multiplicand w in [0, q).
+func (m *Modulus) ShoupPrecompute(w uint64) uint64 {
+	hi, _ := bits.Div64(w, 0, m.Q)
+	return hi
+}
+
+// ShoupMul returns a·w mod q in [0, 2q) using the precomputed quotient
+// wShoup = ⌊w·2^64/q⌋. Valid for any a < 2^64 (Harvey's bound).
+func (m *Modulus) ShoupMul(a, w, wShoup uint64) uint64 {
+	qhat, _ := bits.Mul64(a, wShoup)
+	return a*w - qhat*m.Q
+}
+
+// ShoupMulFull is ShoupMul with the final correction to [0, q).
+func (m *Modulus) ShoupMulFull(a, w, wShoup uint64) uint64 {
+	r := m.ShoupMul(a, w, wShoup)
+	if r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// LazyCorrect maps a value in [0, 2q) to [0, q).
+func (m *Modulus) LazyCorrect(a uint64) uint64 {
+	if a >= m.Q {
+		a -= m.Q
+	}
+	return a
+}
+
+// AddLazy returns a + b without reduction; callers must track that the
+// running bound stays below 4q (the fused-butterfly bound).
+func (m *Modulus) AddLazy(a, b uint64) uint64 { return a + b }
+
+// SubLazy returns a - b + 2q, keeping results non-negative for inputs in
+// [0, 2q); output is in (0, 4q).
+func (m *Modulus) SubLazy(a, b uint64) uint64 { return a + m.qTimes2 - b }
+
+// Correct4Q reduces a value in [0, 4q) to [0, q).
+func (m *Modulus) Correct4Q(a uint64) uint64 {
+	if a >= m.qTimes2 {
+		a -= m.qTimes2
+	}
+	if a >= m.Q {
+		a -= m.Q
+	}
+	return a
+}

@@ -1,0 +1,129 @@
+package modarith
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMontgomeryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, q := range testPrimes {
+		m := MustModulus(q)
+		for i := 0; i < 200; i++ {
+			a := rng.Uint64() % q
+			if got := m.FromMontgomery(m.ToMontgomery(a)); got != a {
+				t.Fatalf("q=%d Montgomery round trip %d -> %d", q, a, got)
+			}
+		}
+	}
+}
+
+func TestMontgomeryMulMatchesBarrett(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, q := range testPrimes {
+		m := MustModulus(q)
+		for i := 0; i < 200; i++ {
+			a := rng.Uint64() % q
+			b := rng.Uint64() % q
+			bMont := m.ToMontgomery(b)
+			if got, want := m.MontgomeryMulFull(a, bMont), m.BarrettMul(a, b); got != want {
+				t.Fatalf("q=%d MontgomeryMulFull(%d,%d)=%d want %d", q, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMontgomeryLazyRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, q := range testPrimes {
+		m := MustModulus(q)
+		for i := 0; i < 500; i++ {
+			a := rng.Uint64() % (2 * q) // lazy input range
+			b := rng.Uint64() % q
+			bMont := m.ToMontgomery(b)
+			r := m.MontgomeryMul(a, bMont)
+			if r >= 2*q {
+				t.Fatalf("q=%d MontgomeryMul out of lazy range: %d >= 2q", q, r)
+			}
+			if r%q != m.BarrettMul(a%q, b) {
+				t.Fatalf("q=%d MontgomeryMul wrong residue", q)
+			}
+		}
+	}
+}
+
+func TestShoupMulMatchesBarrett(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, q := range testPrimes {
+		m := MustModulus(q)
+		for i := 0; i < 300; i++ {
+			a := rng.Uint64() // Harvey's bound: any 64-bit a
+			w := rng.Uint64() % q
+			ws := m.ShoupPrecompute(w)
+			r := m.ShoupMul(a, w, ws)
+			if r >= 2*q {
+				t.Fatalf("q=%d ShoupMul out of lazy range: %d >= 2q", q, r)
+			}
+			if got, want := m.ShoupMulFull(a, w, ws), m.BarrettMul(a%q, w); got != want {
+				t.Fatalf("q=%d ShoupMulFull(%d,%d)=%d want %d", q, a, w, got, want)
+			}
+		}
+	}
+}
+
+func TestLazyHelpers(t *testing.T) {
+	m := MustModulus(12289)
+	q := m.Q
+	for a := uint64(0); a < 2*q; a += 97 {
+		want := a % q
+		if got := m.LazyCorrect(a); got != want {
+			t.Fatalf("LazyCorrect(%d)=%d want %d", a, got, want)
+		}
+	}
+	for a := uint64(0); a < 4*q; a += 131 {
+		want := a % q
+		if got := m.Correct4Q(a); got != want {
+			t.Fatalf("Correct4Q(%d)=%d want %d", a, got, want)
+		}
+	}
+	// SubLazy keeps results positive for inputs in [0, 2q).
+	for i := 0; i < 100; i++ {
+		a, b := uint64(i*241)%(2*q), uint64(i*157)%(2*q)
+		r := m.SubLazy(a, b)
+		if r >= 4*q {
+			t.Fatalf("SubLazy(%d,%d)=%d out of [0,4q)", a, b, r)
+		}
+		if m.Correct4Q(r) != m.SubMod(a%q, b%q) {
+			t.Fatalf("SubLazy(%d,%d) wrong residue", a, b)
+		}
+	}
+}
+
+func TestReduceAlgorithmString(t *testing.T) {
+	for alg, want := range map[ReduceAlgorithm]string{
+		Barrett: "Barrett", Montgomery: "Montgomery", Shoup: "Shoup",
+		BATLazy: "BATLazy", ReduceAlgorithm(99): "Unknown",
+	} {
+		if got := alg.String(); got != want {
+			t.Errorf("%d.String() = %q want %q", alg, got, want)
+		}
+	}
+}
+
+// Property: the three reduction paths agree on all inputs.
+func TestReductionsAgreeQuick(t *testing.T) {
+	m := MustModulus(268369921)
+	q := m.Q
+	f := func(a, b uint64) bool {
+		a %= q
+		b %= q
+		barrett := m.BarrettMul(a, b)
+		mont := m.MontgomeryMulFull(a, m.ToMontgomery(b))
+		shoup := m.ShoupMulFull(a, b, m.ShoupPrecompute(b))
+		return barrett == mont && mont == shoup
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,189 @@
+package modarith
+
+// Vectorised modular kernels (Tab. III primitives). These are the
+// element-wise operations that the paper profiles as VecModAdd,
+// VecModSub, and VecModMul (Fig. 14) and that CROSS maps to the TPU VPU.
+// On the CPU they double as the native execution path; the TPU simulator
+// invokes them for functional results while charging VPU cycles.
+//
+// Unless stated otherwise, inputs are in [0, q), outputs in [0, q), and
+// dst may alias a or b. All kernels panic if the slice lengths differ —
+// a length mismatch is a compiler bug, not a runtime condition.
+
+func checkLen3(dst, a, b []uint64) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("modarith: vector length mismatch")
+	}
+}
+
+func checkLen2(dst, a []uint64) {
+	if len(dst) != len(a) {
+		panic("modarith: vector length mismatch")
+	}
+}
+
+// VecAddMod computes dst[i] = (a[i] + b[i]) mod q.
+func (m *Modulus) VecAddMod(dst, a, b []uint64) {
+	checkLen3(dst, a, b)
+	q := m.Q
+	for i := range dst {
+		s := a[i] + b[i]
+		if s >= q {
+			s -= q
+		}
+		dst[i] = s
+	}
+}
+
+// VecSubMod computes dst[i] = (a[i] - b[i]) mod q.
+func (m *Modulus) VecSubMod(dst, a, b []uint64) {
+	checkLen3(dst, a, b)
+	q := m.Q
+	for i := range dst {
+		d := a[i] + q - b[i]
+		if d >= q {
+			d -= q
+		}
+		dst[i] = d
+	}
+}
+
+// VecNegMod computes dst[i] = -a[i] mod q.
+func (m *Modulus) VecNegMod(dst, a []uint64) {
+	checkLen2(dst, a)
+	q := m.Q
+	for i := range dst {
+		if a[i] == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = q - a[i]
+		}
+	}
+}
+
+// VecMulMod computes dst[i] = a[i]·b[i] mod q with the requested
+// reduction algorithm (Fig. 13a ablation). Shoup requires per-element
+// precomputed quotients and is therefore routed through
+// VecMulModShoup; passing Shoup here falls back to Barrett.
+func (m *Modulus) VecMulMod(dst, a, b []uint64, alg ReduceAlgorithm) {
+	checkLen3(dst, a, b)
+	switch alg {
+	case Montgomery:
+		m.vecMulMont(dst, a, b)
+	default:
+		m.vecMulBarrett(dst, a, b)
+	}
+}
+
+func (m *Modulus) vecMulBarrett(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = m.BarrettMul(a[i], b[i])
+	}
+}
+
+// vecMulMont multiplies via REDC: one conversion of a into the
+// Montgomery domain and one lazy REDC per element, then a final
+// correction — the two-multiplication pattern of §V-F2.
+func (m *Modulus) vecMulMont(dst, a, b []uint64) {
+	for i := range dst {
+		am := m.ToMontgomery(a[i])
+		dst[i] = m.MontgomeryMulFull(b[i], am)
+	}
+}
+
+// VecMulModShoup computes dst[i] = a[i]·w[i] mod q where w is a
+// compile-time-known vector with precomputed Shoup quotients wShoup.
+func (m *Modulus) VecMulModShoup(dst, a, w, wShoup []uint64) {
+	checkLen3(dst, a, w)
+	if len(w) != len(wShoup) {
+		panic("modarith: shoup quotient length mismatch")
+	}
+	for i := range dst {
+		dst[i] = m.ShoupMulFull(a[i], w[i], wShoup[i])
+	}
+}
+
+// VecScalarMulMod computes dst[i] = a[i]·c mod q for a runtime scalar c.
+func (m *Modulus) VecScalarMulMod(dst, a []uint64, c uint64) {
+	checkLen2(dst, a)
+	w := c % m.Q
+	ws := m.ShoupPrecompute(w)
+	for i := range dst {
+		dst[i] = m.ShoupMulFull(a[i], w, ws)
+	}
+}
+
+// VecScalarMulAddMod computes dst[i] = (dst[i] + a[i]·c) mod q.
+func (m *Modulus) VecScalarMulAddMod(dst, a []uint64, c uint64) {
+	checkLen2(dst, a)
+	w := c % m.Q
+	ws := m.ShoupPrecompute(w)
+	q := m.Q
+	for i := range dst {
+		s := dst[i] + m.ShoupMulFull(a[i], w, ws)
+		if s >= q {
+			s -= q
+		}
+		dst[i] = s
+	}
+}
+
+// VecMulAddMod computes dst[i] = (dst[i] + a[i]·b[i]) mod q.
+func (m *Modulus) VecMulAddMod(dst, a, b []uint64) {
+	checkLen3(dst, a, b)
+	q := m.Q
+	for i := range dst {
+		s := dst[i] + m.BarrettMul(a[i], b[i])
+		if s >= q {
+			s -= q
+		}
+		dst[i] = s
+	}
+}
+
+// VecReduce computes dst[i] = a[i] mod q for arbitrary uint64 inputs.
+func (m *Modulus) VecReduce(dst, a []uint64) {
+	checkLen2(dst, a)
+	for i := range dst {
+		dst[i] = m.Reduce(a[i])
+	}
+}
+
+// VecToMontgomery maps a vector into the Montgomery domain.
+func (m *Modulus) VecToMontgomery(dst, a []uint64) {
+	checkLen2(dst, a)
+	for i := range dst {
+		dst[i] = m.ToMontgomery(a[i])
+	}
+}
+
+// VecFromMontgomery maps a vector out of the Montgomery domain.
+func (m *Modulus) VecFromMontgomery(dst, a []uint64) {
+	checkLen2(dst, a)
+	for i := range dst {
+		dst[i] = m.FromMontgomery(a[i])
+	}
+}
+
+// ShoupPrecomputeVec returns the Shoup quotients for a constant vector.
+func (m *Modulus) ShoupPrecomputeVec(w []uint64) []uint64 {
+	out := make([]uint64, len(w))
+	for i, x := range w {
+		out[i] = m.ShoupPrecompute(x)
+	}
+	return out
+}
+
+// InnerProductMod returns Σ a[i]·b[i] mod q. The accumulation is lazy:
+// 128-bit partial sums are reduced only when the high word approaches
+// overflow, mirroring the paper's lazy-reduction pipelines.
+func (m *Modulus) InnerProductMod(a, b []uint64) uint64 {
+	if len(a) != len(b) {
+		panic("modarith: vector length mismatch")
+	}
+	var acc uint64
+	for i := range a {
+		acc = m.AddMod(acc, m.BarrettMul(a[i], b[i]))
+	}
+	return acc
+}

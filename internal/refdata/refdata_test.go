@@ -1,0 +1,129 @@
+package refdata
+
+import "testing"
+
+func TestHEBaselinesComplete(t *testing.T) {
+	bs := HEBaselines()
+	if len(bs) != 8 {
+		t.Fatalf("expected 8 Tab. VIII baselines, got %d", len(bs))
+	}
+	names := map[string]bool{}
+	for _, b := range bs {
+		if names[b.Name] {
+			t.Errorf("duplicate baseline %q", b.Name)
+		}
+		names[b.Name] = true
+		if b.Add <= 0 || b.Mult <= 0 || b.Rotate <= 0 {
+			t.Errorf("%s: missing core latencies", b.Name)
+		}
+		if b.PowerW <= 0 || b.MatchedCores <= 0 {
+			t.Errorf("%s: missing power-matching data", b.Name)
+		}
+		if b.CrossL <= 0 || b.CrossDnum <= 0 {
+			t.Errorf("%s: missing CROSS config", b.Name)
+		}
+	}
+	// BASALISC does not report Rescale (N/A in Tab. VIII).
+	for _, b := range bs {
+		if b.Name == "BASALISC" && b.Rescale != 0 {
+			t.Error("BASALISC rescale should be unreported")
+		}
+	}
+}
+
+func TestEfficiencyRatiosCoverPublicDevices(t *testing.T) {
+	for _, name := range []string{"OpenFHE", "WarpDrive", "FIDESlib", "FAB", "HEAP", "Cheddar"} {
+		if PaperEfficiencyRatios[name] <= 1 {
+			t.Errorf("paper ratio for %s missing or ≤ 1", name)
+		}
+	}
+	// The ordering from the abstract: OpenFHE ≫ WarpDrive > HEAP >
+	// FIDESlib > FAB > Cheddar.
+	r := PaperEfficiencyRatios
+	if !(r["OpenFHE"] > r["WarpDrive"] && r["WarpDrive"] > r["HEAP"] &&
+		r["HEAP"] > r["FIDESlib"] && r["FIDESlib"] > r["FAB"] && r["FAB"] > r["Cheddar"]) {
+		t.Error("paper ratio ordering corrupted")
+	}
+}
+
+func TestNTTBaselines(t *testing.T) {
+	for _, b := range NTTBaselines() {
+		for i, v := range b.KNTTs {
+			if v <= 0 {
+				t.Errorf("%s degree index %d missing", b.Name, i)
+			}
+		}
+		// Throughput falls with degree.
+		if !(b.KNTTs[0] > b.KNTTs[1] && b.KNTTs[1] > b.KNTTs[2]) {
+			t.Errorf("%s throughput not monotone in degree", b.Name)
+		}
+	}
+	for name, row := range PaperNTTTPU {
+		if !(row[0] > row[1] && row[1] > row[2]) {
+			t.Errorf("paper TPU row %s not monotone", name)
+		}
+	}
+	// The headline: v6e beats WarpDrive at N=2^12 by 1.2×.
+	wd := NTTBaselines()[1]
+	ratio := PaperNTTTPU["TPUv6e"][0] / wd.KNTTs[0]
+	if ratio < 1.1 || ratio > 1.3 {
+		t.Errorf("v6e/WarpDrive NTT ratio %.2f drifted from the paper's 1.2×", ratio)
+	}
+}
+
+func TestBootstrapBaselines(t *testing.T) {
+	bs := BootstrapBaselines()
+	if len(bs) != 3 {
+		t.Fatalf("expected 3 bootstrap baselines")
+	}
+	// Paper: v6e-8 = 21.5 ms, 1.5× over Cheddar, 7.9× under FIDESlib.
+	v6e := PaperBootstrapTPU["TPUv6e"]
+	if r := bs[1].LatencyMs / v6e; r < 1.3 || r > 1.7 {
+		t.Errorf("Cheddar/v6e bootstrap ratio %.2f drifted from 1.5×", r)
+	}
+	if r := bs[0].LatencyMs / v6e; r < 7.5 || r > 8.3 {
+		t.Errorf("FIDESlib/v6e bootstrap ratio %.2f drifted from 7.9×", r)
+	}
+}
+
+func TestDeviceLandscape(t *testing.T) {
+	pts := DeviceLandscape()
+	if len(pts) != 15 {
+		t.Fatalf("Fig. 5 should have 15 devices, got %d", len(pts))
+	}
+	classes := map[string]int{}
+	var bestGPU, bestASIC float64
+	for _, p := range pts {
+		if p.PowerW <= 0 || p.INT8TOPs <= 0 {
+			t.Errorf("%s: missing data", p.Name)
+		}
+		classes[p.Class]++
+		eff := p.INT8TOPs / p.PowerW
+		switch p.Class {
+		case "GPU":
+			if eff > bestGPU {
+				bestGPU = eff
+			}
+		case "AI ASIC":
+			if eff > bestASIC {
+				bestASIC = eff
+			}
+		}
+	}
+	if classes["GPU"] == 0 || classes["AI ASIC"] == 0 || classes["FPGA"] == 0 {
+		t.Error("Fig. 5 classes incomplete")
+	}
+	// Fig. 5's takeaway: AI ASICs sit on the better TOPs/W frontier.
+	if bestASIC <= bestGPU*0.8 {
+		t.Errorf("AI ASIC frontier (%.2f TOPs/W) not competitive with GPUs (%.2f)", bestASIC, bestGPU)
+	}
+}
+
+func TestWorkloadConstants(t *testing.T) {
+	if MNISTLatencyMs != 270 || OrionMNISTLatencyMs/MNISTLatencyMs != 10 {
+		t.Error("MNIST constants drifted from §V-D")
+	}
+	if HELRIterationMs != 84 {
+		t.Error("HELR constant drifted from §V-D")
+	}
+}

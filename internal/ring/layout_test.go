@@ -1,0 +1,126 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestLayoutInvariantMultiplication is MAT's central claim (§IV-B):
+// element-wise evaluation-domain arithmetic does not care about the
+// slot order, so the digit-swap layout — which requires zero runtime
+// reordering — computes polynomial products bit-exactly.
+func TestLayoutInvariantMultiplication(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for _, tc := range []struct{ n, r, c int }{{64, 8, 8}, {256, 4, 64}, {512, 32, 16}} {
+		rg := testRing(t, tc.n, 2)
+		plan, err := NewMatNTTPlan(rg, tc.r, tc.c, LayoutDigitSwap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := randPoly(rng, rg)
+		b := randPoly(rng, rg)
+		want := rg.NewPoly()
+		rg.MulPolyNaive(a, b, want)
+
+		// Transform both operands into the digit-swap layout, multiply
+		// pointwise, invert — no transpose, no bit-reverse, anywhere.
+		plan.Forward(a)
+		plan.Forward(b)
+		got := rg.NewPoly()
+		rg.MulCoeffs(a, b, got)
+		plan.Inverse(got)
+		if !got.Equal(want) {
+			t.Fatalf("N=%d (R=%d,C=%d): layout-invariant product != negacyclic convolution", tc.n, tc.r, tc.c)
+		}
+	}
+}
+
+// TestMixedLayoutAddition: addition is equally layout-agnostic.
+func TestLayoutInvariantAddition(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	rg := testRing(t, 128, 2)
+	plan, err := NewMatNTTPlan(rg, 8, 16, LayoutDigitSwap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randPoly(rng, rg)
+	b := randPoly(rng, rg)
+	want := rg.NewPoly()
+	rg.Add(a, b, want)
+
+	plan.Forward(a)
+	plan.Forward(b)
+	sum := rg.NewPoly()
+	rg.Add(a, b, sum)
+	plan.Inverse(sum)
+	if !sum.Equal(want) {
+		t.Fatal("layout-invariant addition broken")
+	}
+}
+
+// Property: for random (R, C) splits and random polynomials, the MAT
+// plan is a bijection (forward∘inverse = id) in both layouts.
+func TestMatNTTBijectionQuick(t *testing.T) {
+	rg := testRing(t, 256, 1)
+	plans := []*MatNTTPlan{}
+	for _, rc := range [][2]int{{4, 64}, {16, 16}, {64, 4}} {
+		for _, order := range []Layout{LayoutDigitSwap, LayoutBitRev} {
+			p, err := NewMatNTTPlan(rg, rc[0], rc[1], order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plans = append(plans, p)
+		}
+	}
+	q := rg.Moduli[0].Q
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := make([]uint64, 256)
+		for i := range in {
+			in[i] = r.Uint64() % q
+		}
+		for _, p := range plans {
+			buf := append([]uint64(nil), in...)
+			p.ForwardLimb(0, buf, buf)
+			p.InverseLimb(0, buf, buf)
+			for i := range buf {
+				if buf[i] != in[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NTT is multiplicative — NTT(a·b) = NTT(a) ⊙ NTT(b) — for
+// the radix-2 path (the convolution theorem the whole HE stack rests
+// on).
+func TestConvolutionTheoremQuick(t *testing.T) {
+	rg := testRing(t, 64, 1)
+	m := rg.Moduli[0]
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := rg.NewPoly()
+		b := rg.NewPoly()
+		for i := range a.Coeffs[0] {
+			a.Coeffs[0][i] = r.Uint64() % m.Q
+			b.Coeffs[0][i] = r.Uint64() % m.Q
+		}
+		want := rg.NewPoly()
+		rg.MulPolyNaive(a, b, want)
+		rg.NTT(a)
+		rg.NTT(b)
+		prod := rg.NewPoly()
+		rg.MulCoeffs(a, b, prod)
+		rg.INTT(prod)
+		return prod.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

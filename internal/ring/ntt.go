@@ -1,0 +1,209 @@
+package ring
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cross/internal/modarith"
+)
+
+// nttTable holds the per-modulus twiddle factors for the radix-2
+// Cooley–Tukey NTT (Alg. 3). Powers of ψ (primitive 2N-th root) are
+// stored in bit-reversed order with Shoup quotients, the layout used by
+// the merged negacyclic butterfly (Longa–Naehrig).
+type nttTable struct {
+	n       int
+	psi     uint64 // primitive 2N-th root of unity
+	psiInv  uint64 // ψ⁻¹
+	omega   uint64 // ψ², primitive N-th root
+	nInv    uint64 // N⁻¹ mod q
+	nInvSho uint64
+
+	psiRev       []uint64 // ψ^brv(i), i ∈ [0, N)
+	psiRevSho    []uint64
+	psiInvRev    []uint64 // ψ^-brv(i)
+	psiInvRevSho []uint64
+}
+
+func newNTTTable(m *modarith.Modulus, n int) (*nttTable, error) {
+	psi, err := m.PrimitiveRootOfUnity(uint64(2 * n))
+	if err != nil {
+		return nil, fmt.Errorf("ring: modulus %d: %w", m.Q, err)
+	}
+	t := &nttTable{
+		n:            n,
+		psi:          psi,
+		psiInv:       m.InvMod(psi),
+		omega:        m.MulMod(psi, psi),
+		nInv:         m.InvMod(uint64(n)),
+		psiRev:       make([]uint64, n),
+		psiRevSho:    make([]uint64, n),
+		psiInvRev:    make([]uint64, n),
+		psiInvRevSho: make([]uint64, n),
+	}
+	t.nInvSho = m.ShoupPrecompute(t.nInv)
+	logN := uint(bits.Len(uint(n)) - 1)
+	fwd, inv := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		r := int(bitReverse(uint64(i), logN))
+		t.psiRev[r] = fwd
+		t.psiInvRev[r] = inv
+		fwd = m.MulMod(fwd, psi)
+		inv = m.MulMod(inv, t.psiInv)
+	}
+	for i := 0; i < n; i++ {
+		t.psiRevSho[i] = m.ShoupPrecompute(t.psiRev[i])
+		t.psiInvRevSho[i] = m.ShoupPrecompute(t.psiInvRev[i])
+	}
+	return t, nil
+}
+
+// bitReverse reverses the low `width` bits of x.
+func bitReverse(x uint64, width uint) uint64 {
+	return bits.Reverse64(x) >> (64 - width)
+}
+
+// BitReverse exposes the bit-reversal helper used throughout the NTT
+// algorithm family (MAT builds its offline permutations from it).
+func BitReverse(x uint64, width uint) uint64 { return bitReverse(x, width) }
+
+// NTTLimb performs the in-place forward negacyclic NTT of one limb via
+// radix-2 Cooley–Tukey butterflies (Alg. 3). Input is in natural
+// coefficient order; output is the evaluation vector in bit-reversed
+// order: out[brv(j)] = Σ_i a_i ψ^{i(2j+1)}.
+//
+// Butterflies operate lazily in [0, 2q); a final correction pass brings
+// coefficients back to [0, q).
+func (r *Ring) NTTLimb(i int, a []uint64) {
+	t := r.tables[i]
+	m := r.Moduli[i]
+	n := r.N
+	if len(a) != n {
+		panic("ring: NTTLimb length mismatch")
+	}
+	q := m.Q
+	twoQ := 2 * q
+
+	half := n
+	for step := 1; step < n; step <<= 1 {
+		half >>= 1
+		for blk := 0; blk < step; blk++ {
+			w := t.psiRev[step+blk]
+			ws := t.psiRevSho[step+blk]
+			j1 := 2 * blk * half
+			for j := j1; j < j1+half; j++ {
+				// Harvey butterfly: inputs in [0, 2q), outputs in [0, 2q).
+				u := a[j]
+				if u >= twoQ {
+					u -= twoQ
+				}
+				v := m.ShoupMul(a[j+half], w, ws) // in [0, 2q)
+				a[j] = u + v
+				a[j+half] = u + twoQ - v
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		x := a[j]
+		if x >= twoQ {
+			x -= twoQ
+		}
+		if x >= q {
+			x -= q
+		}
+		a[j] = x
+	}
+}
+
+// INTTLimb performs the in-place inverse NTT of one limb via
+// Gentleman–Sande butterflies: input in bit-reversed evaluation order
+// (the output order of NTTLimb), output in natural coefficient order,
+// scaled by N⁻¹.
+func (r *Ring) INTTLimb(i int, a []uint64) {
+	t := r.tables[i]
+	m := r.Moduli[i]
+	n := r.N
+	if len(a) != n {
+		panic("ring: INTTLimb length mismatch")
+	}
+	q := m.Q
+	twoQ := 2 * q
+
+	half := 1
+	for step := n >> 1; step >= 1; step >>= 1 {
+		for blk := 0; blk < step; blk++ {
+			w := t.psiInvRev[step+blk]
+			ws := t.psiInvRevSho[step+blk]
+			j1 := 2 * blk * half
+			for j := j1; j < j1+half; j++ {
+				// GS butterfly, lazy in [0, 2q).
+				u := a[j]
+				v := a[j+half]
+				s := u + v
+				if s >= twoQ {
+					s -= twoQ
+				}
+				a[j] = s
+				a[j+half] = m.ShoupMul(u+twoQ-v, w, ws)
+			}
+		}
+		half <<= 1
+	}
+	for j := 0; j < n; j++ {
+		a[j] = m.ShoupMulFull(a[j], t.nInv, t.nInvSho)
+	}
+}
+
+// NTT forward-transforms every limb of p in place.
+func (r *Ring) NTT(p *Poly) {
+	for i := 0; i <= p.Level(); i++ {
+		r.NTTLimb(i, p.Coeffs[i])
+	}
+}
+
+// INTT inverse-transforms every limb of p in place.
+func (r *Ring) INTT(p *Poly) {
+	for i := 0; i <= p.Level(); i++ {
+		r.INTTLimb(i, p.Coeffs[i])
+	}
+}
+
+// NTTNaiveLimb is the O(N²) reference forward transform in natural
+// output order: out[j] = Σ_i a_i ψ^{i(2j+1)}. It is the oracle against
+// which every fast variant is verified.
+func (r *Ring) NTTNaiveLimb(i int, a []uint64) []uint64 {
+	m := r.Moduli[i]
+	t := r.tables[i]
+	n := r.N
+	out := make([]uint64, n)
+	for j := 0; j < n; j++ {
+		// root = ψ^(2j+1)
+		root := m.MulMod(m.PowMod(t.omega, uint64(j)), t.psi)
+		var acc, pw uint64
+		pw = 1
+		for k := 0; k < n; k++ {
+			acc = m.AddMod(acc, m.MulMod(a[k], pw))
+			pw = m.MulMod(pw, root)
+		}
+		out[j] = acc
+	}
+	return out
+}
+
+// INTTNaiveLimb is the O(N²) reference inverse of NTTNaiveLimb.
+func (r *Ring) INTTNaiveLimb(i int, b []uint64) []uint64 {
+	m := r.Moduli[i]
+	t := r.tables[i]
+	n := r.N
+	out := make([]uint64, n)
+	for k := 0; k < n; k++ {
+		var acc uint64
+		for j := 0; j < n; j++ {
+			// ψ^{-k(2j+1)}
+			e := m.PowMod(t.psiInv, uint64(k*(2*j+1))%uint64(2*n))
+			acc = m.AddMod(acc, m.MulMod(b[j], e))
+		}
+		out[k] = m.MulMod(acc, t.nInv)
+	}
+	return out
+}

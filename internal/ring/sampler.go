@@ -1,0 +1,100 @@
+package ring
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Sampler draws the random polynomials RLWE needs: uniform masks,
+// ternary secrets, and discrete-Gaussian errors (§II-A). The source is
+// an explicit seeded PRNG so that experiments are reproducible run to
+// run; the reproduction targets performance fidelity, not cryptographic
+// key generation, exactly as the paper's artifact does.
+type Sampler struct {
+	rng   *rand.Rand
+	sigma float64
+}
+
+// DefaultSigma is the RLWE error standard deviation used by the
+// homomorphic encryption standard and by OpenFHE's default profile.
+const DefaultSigma = 3.2
+
+// NewSampler returns a Sampler seeded deterministically.
+func NewSampler(seed int64) *Sampler {
+	return &Sampler{rng: rand.New(rand.NewSource(seed)), sigma: DefaultSigma}
+}
+
+// NewSamplerWithSigma overrides the Gaussian parameter.
+func NewSamplerWithSigma(seed int64, sigma float64) *Sampler {
+	return &Sampler{rng: rand.New(rand.NewSource(seed)), sigma: sigma}
+}
+
+// Uniform fills p with coefficients uniform in [0, q_i) per limb.
+func (s *Sampler) Uniform(r *Ring, p *Poly) {
+	for i := 0; i <= p.Level(); i++ {
+		q := r.Moduli[i].Q
+		for k := range p.Coeffs[i] {
+			p.Coeffs[i][k] = s.rng.Uint64() % q
+		}
+	}
+}
+
+// Ternary fills p with a ternary polynomial (coefficients in {-1,0,1},
+// uniform) represented consistently across all limbs.
+func (s *Sampler) Ternary(r *Ring, p *Poly) {
+	n := p.N()
+	vals := make([]int8, n)
+	for k := range vals {
+		vals[k] = int8(s.rng.Intn(3)) - 1
+	}
+	for i := 0; i <= p.Level(); i++ {
+		m := r.Moduli[i]
+		for k, v := range vals {
+			switch v {
+			case 1:
+				p.Coeffs[i][k] = 1
+			case -1:
+				p.Coeffs[i][k] = m.Q - 1
+			default:
+				p.Coeffs[i][k] = 0
+			}
+		}
+	}
+}
+
+// Gaussian fills p with a rounded-Gaussian error polynomial, the same
+// small value embedded consistently in every limb.
+func (s *Sampler) Gaussian(r *Ring, p *Poly) {
+	n := p.N()
+	vals := make([]int64, n)
+	bound := int64(math.Ceil(6 * s.sigma)) // 6σ tail cut, standard practice
+	for k := range vals {
+		v := int64(math.Round(s.rng.NormFloat64() * s.sigma))
+		if v > bound {
+			v = bound
+		}
+		if v < -bound {
+			v = -bound
+		}
+		vals[k] = v
+	}
+	s.setSigned(r, p, vals)
+}
+
+// SetSigned embeds small signed integers into all limbs of p.
+func (s *Sampler) SetSigned(r *Ring, p *Poly, vals []int64) {
+	s.setSigned(r, p, vals)
+}
+
+func (s *Sampler) setSigned(r *Ring, p *Poly, vals []int64) {
+	for i := 0; i <= p.Level(); i++ {
+		m := r.Moduli[i]
+		for k, v := range vals {
+			if v >= 0 {
+				p.Coeffs[i][k] = uint64(v) % m.Q
+			} else {
+				p.Coeffs[i][k] = m.Q - uint64(-v)%m.Q
+			}
+		}
+	}
+}

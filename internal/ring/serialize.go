@@ -1,0 +1,78 @@
+package ring
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary wire format for polynomials. Layout (little-endian):
+//
+//	magic   uint32  "CRPo" (0x6F505243)
+//	limbs   uint32
+//	n       uint32
+//	coeffs  limbs × n × uint64
+//
+// The format is deliberately self-describing and versioned through the
+// magic so ciphertext/key containers can embed it.
+
+const polyMagic uint32 = 0x6F505243
+
+// WriteTo serialises the polynomial.
+func (p *Poly) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr[0:], polyMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(p.Coeffs)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(p.N()))
+	n, err := w.Write(hdr)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	buf := make([]byte, 8*p.N())
+	for _, limb := range p.Coeffs {
+		for i, v := range limb {
+			binary.LittleEndian.PutUint64(buf[8*i:], v)
+		}
+		n, err := w.Write(buf)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// ReadFrom deserialises into p, reallocating as needed.
+func (p *Poly) ReadFrom(r io.Reader) (int64, error) {
+	var read int64
+	hdr := make([]byte, 12)
+	n, err := io.ReadFull(r, hdr)
+	read += int64(n)
+	if err != nil {
+		return read, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != polyMagic {
+		return read, fmt.Errorf("ring: bad polynomial magic")
+	}
+	limbs := int(binary.LittleEndian.Uint32(hdr[4:]))
+	nn := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if limbs < 0 || limbs > 1<<10 || nn < 0 || nn > 1<<20 {
+		return read, fmt.Errorf("ring: implausible polynomial shape %d×%d", limbs, nn)
+	}
+	fresh := NewPoly(limbs, nn)
+	buf := make([]byte, 8*nn)
+	for i := 0; i < limbs; i++ {
+		n, err := io.ReadFull(r, buf)
+		read += int64(n)
+		if err != nil {
+			return read, err
+		}
+		for k := 0; k < nn; k++ {
+			fresh.Coeffs[i][k] = binary.LittleEndian.Uint64(buf[8*k:])
+		}
+	}
+	*p = *fresh
+	return read, nil
+}

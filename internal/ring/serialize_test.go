@@ -1,0 +1,66 @@
+package ring
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestPolySerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	r := testRing(t, 64, 3)
+	p := randPoly(rng, r)
+
+	var buf bytes.Buffer
+	n, err := p.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d, wrote %d", n, buf.Len())
+	}
+	// 12-byte header + limbs×n×8 bytes.
+	if want := int64(12 + 3*64*8); n != want {
+		t.Fatalf("serialised size %d, want %d", n, want)
+	}
+
+	var q Poly
+	m, err := q.ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != n {
+		t.Fatalf("ReadFrom consumed %d of %d bytes", m, n)
+	}
+	if !q.Equal(p) {
+		t.Fatal("round trip corrupted coefficients")
+	}
+}
+
+func TestPolyDeserializeRejectsGarbage(t *testing.T) {
+	var p Poly
+	if _, err := p.ReadFrom(bytes.NewReader([]byte("garbage header bytes"))); err == nil {
+		t.Error("expected magic error")
+	}
+	if _, err := p.ReadFrom(bytes.NewReader(nil)); err == nil {
+		t.Error("expected EOF")
+	}
+	// Implausible shape: craft a header claiming 2^30 coefficients.
+	hdr := make([]byte, 12)
+	copy(hdr, []byte{0x43, 0x52, 0x50, 0x6F}) // magic little-endian
+	hdr[4] = 1
+	hdr[8], hdr[9], hdr[10], hdr[11] = 0, 0, 0, 0x40
+	if _, err := p.ReadFrom(bytes.NewReader(hdr)); err == nil {
+		t.Error("expected implausible-shape error")
+	}
+	// Truncated body.
+	r := testRing(t, 16, 1)
+	good := r.NewPoly()
+	var buf bytes.Buffer
+	if _, err := good.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ReadFrom(bytes.NewReader(buf.Bytes()[:20])); err == nil {
+		t.Error("expected truncation error")
+	}
+}

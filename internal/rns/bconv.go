@@ -1,0 +1,194 @@
+package rns
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Converter implements fast basis conversion (BConv, Fig. 15b) from a
+// source basis B1 = {q_i} to a target basis B2 = {p_j}:
+//
+//	Conv_{B1→B2}(a)_j = Σ_i [a_i · q̂_i⁻¹]_{q_i} · [q̂_i]_{p_j}  (mod p_j)
+//
+// Step 1 is L independent N-length VecModMul's; step 2 is one
+// (N, L, L')-ModMatMul whose left matrix [q̂_i]_{p_j} is compile-time
+// known — exactly the structure BAT exploits in Tab. VI.
+type Converter struct {
+	From *Basis
+	To   *Basis
+
+	// table[j][i] = (Q/q_i) mod p_j; row-major per output limb so that
+	// step 2 is a per-output-limb inner product over input limbs.
+	table [][]uint64
+	// tableShoup[j][i] caches Shoup quotients w.r.t. p_j.
+	tableShoup [][]uint64
+	// qModP[j] = Q mod p_j, used by the exactness correction (−v·Q).
+	qModP []uint64
+	// qInv[i] = 1/q_i as float64 for the HPS overflow estimate v.
+	qInv []float64
+}
+
+// NewConverter precomputes the BConv constants between two bases. The
+// bases must be disjoint (all moduli pairwise distinct) for the CRT map
+// to be well defined on the union.
+func NewConverter(from, to *Basis) (*Converter, error) {
+	fromSet := make(map[uint64]bool, from.L())
+	for _, q := range from.Primes() {
+		fromSet[q] = true
+	}
+	for _, p := range to.Primes() {
+		if fromSet[p] {
+			return nil, fmt.Errorf("rns: basis conversion requires disjoint bases; %d appears in both", p)
+		}
+	}
+	c := &Converter{
+		From:       from,
+		To:         to,
+		table:      make([][]uint64, to.L()),
+		tableShoup: make([][]uint64, to.L()),
+		qModP:      make([]uint64, to.L()),
+		qInv:       make([]float64, from.L()),
+	}
+	for i, m := range from.Moduli {
+		c.qInv[i] = 1.0 / float64(m.Q)
+	}
+	for j, pm := range to.Moduli {
+		row := make([]uint64, from.L())
+		for i := range from.Moduli {
+			row[i] = bigMod(from.qHat[i], pm.Q)
+		}
+		c.table[j] = row
+		c.tableShoup[j] = pm.ShoupPrecomputeVec(row)
+		c.qModP[j] = bigMod(from.Q, pm.Q)
+	}
+	return c, nil
+}
+
+// Table returns the step-2 left matrix [q̂_i]_{p_j} indexed [j][i]. The
+// CROSS compiler feeds this to BAT's offline pass.
+func (c *Converter) Table() [][]uint64 { return c.table }
+
+// Step1 computes y_i = [a_i · q̂_i⁻¹]_{q_i} for every input limb.
+// in and out are limb-major: [L][N]. out may alias in.
+func (c *Converter) Step1(out, in [][]uint64) {
+	if len(in) != c.From.L() || len(out) != c.From.L() {
+		panic("rns: Step1 limb count mismatch")
+	}
+	for i, m := range c.From.Moduli {
+		w := c.From.qHatInv[i]
+		ws := c.From.qHatInvShoup[i]
+		for k, a := range in[i] {
+			out[i][k] = m.ShoupMulFull(a, w, ws)
+		}
+	}
+}
+
+// Step2 computes c_j = Σ_i y_i · table[j][i] mod p_j — the
+// (N, L, L')-ModMatMul. y is limb-major [L][N]; out is [L'][N].
+func (c *Converter) Step2(out, y [][]uint64) {
+	if len(y) != c.From.L() || len(out) != c.To.L() {
+		panic("rns: Step2 limb count mismatch")
+	}
+	n := len(y[0])
+	for j, pm := range c.To.Moduli {
+		dst := out[j]
+		for k := 0; k < n; k++ {
+			dst[k] = 0
+		}
+		row := c.table[j]
+		rowShoup := c.tableShoup[j]
+		for i := range y {
+			w, ws := row[i], rowShoup[i]
+			src := y[i]
+			for k := 0; k < n; k++ {
+				s := dst[k] + pm.ShoupMulFull(src[k], w, ws)
+				if s >= pm.Q {
+					s -= pm.Q
+				}
+				dst[k] = s
+			}
+		}
+	}
+}
+
+// ConvertApprox performs the fast (approximate) basis conversion used
+// inside key-switching ModUp: the result equals a + e·Q mod p_j for some
+// overflow 0 ≤ e < L. in is [L][N] over From; the returned slice is
+// [L'][N] over To.
+func (c *Converter) ConvertApprox(in [][]uint64) [][]uint64 {
+	n := len(in[0])
+	y := allocLimbs(c.From.L(), n)
+	c.Step1(y, in)
+	out := allocLimbs(c.To.L(), n)
+	c.Step2(out, y)
+	return out
+}
+
+// ConvertExact performs basis conversion with the HPS floating-point
+// correction: since Σ y_i/q_i = v + x/Q exactly (q̂_i/Q = 1/q_i), the
+// CRT overflow is v = ⌊Σ y_i/q_i⌋, which is computed per coefficient in
+// float64 and subtracted as v·Q. The float estimate carries ≈L·2⁻⁵²
+// absolute error, so the floor is correct unless x/Q falls within that
+// distance of an integer — never the case for the ≤64-limb parameter
+// sets of Tab. IV on random inputs, and checked by tests.
+func (c *Converter) ConvertExact(in [][]uint64) [][]uint64 {
+	n := len(in[0])
+	y := allocLimbs(c.From.L(), n)
+	c.Step1(y, in)
+	out := allocLimbs(c.To.L(), n)
+	c.Step2(out, y)
+
+	// Overflow estimate and correction.
+	for k := 0; k < n; k++ {
+		sum := 0.0
+		for i := range y {
+			sum += float64(y[i][k]) * c.qInv[i]
+		}
+		v := uint64(math.Floor(sum))
+		if v == 0 {
+			continue
+		}
+		for j, pm := range c.To.Moduli {
+			corr := pm.MulMod(v%pm.Q, c.qModP[j])
+			out[j][k] = pm.SubMod(out[j][k], corr)
+		}
+	}
+	return out
+}
+
+// OverflowBound returns the maximum CRT overflow e of ConvertApprox,
+// i.e. L (the number of source limbs).
+func (c *Converter) OverflowBound() uint64 { return uint64(c.From.L()) }
+
+// allocLimbs allocates an [l][n] limb matrix backed by one contiguous
+// buffer (single allocation, cache-friendly row access).
+func allocLimbs(l, n int) [][]uint64 {
+	backing := make([]uint64, l*n)
+	out := make([][]uint64, l)
+	for i := range out {
+		out[i], backing = backing[:n:n], backing[n:]
+	}
+	return out
+}
+
+// AllocLimbs exposes the contiguous limb-matrix allocator to other
+// packages in the reproduction.
+func AllocLimbs(l, n int) [][]uint64 { return allocLimbs(l, n) }
+
+// CopyLimbs deep-copies a limb matrix.
+func CopyLimbs(in [][]uint64) [][]uint64 {
+	if len(in) == 0 {
+		return nil
+	}
+	out := allocLimbs(len(in), len(in[0]))
+	for i := range in {
+		copy(out[i], in[i])
+	}
+	return out
+}
+
+// bigMod returns x mod m for a big integer x and word-size m.
+func bigMod(x *big.Int, m uint64) uint64 {
+	return new(big.Int).Mod(x, new(big.Int).SetUint64(m)).Uint64()
+}

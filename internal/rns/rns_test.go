@@ -1,0 +1,266 @@
+package rns
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cross/internal/modarith"
+)
+
+func testBases(t *testing.T) (*Basis, *Basis) {
+	t.Helper()
+	n := uint64(1 << 10)
+	qs, err := modarith.GenerateNTTPrimes(28, n, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := modarith.GenerateNTTPrimesAvoiding(28, n, 4, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MustBasis(qs), MustBasis(ps)
+}
+
+func TestBasisEncodeDecodeRoundTrip(t *testing.T) {
+	b, _ := testBases(t)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		x := new(big.Int).Rand(rng, b.Q)
+		res := b.Encode(x)
+		got := b.Decode(res)
+		if got.Cmp(x) != 0 {
+			t.Fatalf("round trip: %v -> %v", x, got)
+		}
+	}
+}
+
+func TestBasisEncodeNegative(t *testing.T) {
+	b, _ := testBases(t)
+	x := big.NewInt(-12345)
+	res := b.Encode(x)
+	got := b.DecodeCentered(res)
+	if got.Cmp(x) != 0 {
+		t.Fatalf("centered decode of negative: got %v want %v", got, x)
+	}
+}
+
+func TestDecodeCenteredRange(t *testing.T) {
+	b, _ := testBases(t)
+	rng := rand.New(rand.NewSource(2))
+	half := new(big.Int).Rsh(b.Q, 1)
+	negHalf := new(big.Int).Neg(half)
+	for i := 0; i < 50; i++ {
+		x := new(big.Int).Rand(rng, b.Q)
+		c := b.DecodeCentered(b.Encode(x))
+		if c.Cmp(negHalf) < 0 || c.Cmp(half) >= 0 {
+			t.Fatalf("centered value %v outside [-Q/2, Q/2)", c)
+		}
+	}
+}
+
+func TestBasisErrors(t *testing.T) {
+	if _, err := NewBasis(nil); err == nil {
+		t.Error("expected error for empty basis")
+	}
+	if _, err := NewBasis([]uint64{12289, 12289}); err == nil {
+		t.Error("expected error for duplicate modulus")
+	}
+	if _, err := NewBasis([]uint64{15}); err == nil {
+		t.Error("expected error for composite modulus")
+	}
+}
+
+func TestBasisPrefixExtend(t *testing.T) {
+	b, aux := testBases(t)
+	pre, err := b.Prefix(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.L() != 3 {
+		t.Fatalf("prefix length %d", pre.L())
+	}
+	wantQ := big.NewInt(1)
+	for _, q := range b.Primes()[:3] {
+		wantQ.Mul(wantQ, new(big.Int).SetUint64(q))
+	}
+	if pre.Q.Cmp(wantQ) != 0 {
+		t.Fatal("prefix Q mismatch")
+	}
+	if _, err := b.Prefix(0); err == nil {
+		t.Error("expected error for prefix 0")
+	}
+	if _, err := b.Prefix(b.L() + 1); err == nil {
+		t.Error("expected error for prefix too long")
+	}
+	ext, err := b.Extend(aux.Primes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.L() != b.L()+aux.L() {
+		t.Fatalf("extend length %d", ext.L())
+	}
+}
+
+func TestConverterDisjointnessCheck(t *testing.T) {
+	b, _ := testBases(t)
+	if _, err := NewConverter(b, b); err == nil {
+		t.Error("expected error converting basis to itself")
+	}
+}
+
+func TestConvertExactMatchesCRT(t *testing.T) {
+	from, to := testBases(t)
+	conv, err := NewConverter(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	n := 64
+	in := AllocLimbs(from.L(), n)
+	want := make([]*big.Int, n)
+	for k := 0; k < n; k++ {
+		x := new(big.Int).Rand(rng, from.Q)
+		want[k] = x
+		res := from.Encode(x)
+		for i := range in {
+			in[i][k] = res[i]
+		}
+	}
+	out := conv.ConvertExact(in)
+	for k := 0; k < n; k++ {
+		for j, m := range to.Moduli {
+			exp := new(big.Int).Mod(want[k], new(big.Int).SetUint64(m.Q)).Uint64()
+			if out[j][k] != exp {
+				t.Fatalf("coeff %d limb %d: got %d want %d", k, j, out[j][k], exp)
+			}
+		}
+	}
+}
+
+func TestConvertApproxOverflowBounded(t *testing.T) {
+	from, to := testBases(t)
+	conv, err := NewConverter(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	n := 32
+	in := AllocLimbs(from.L(), n)
+	xs := make([]*big.Int, n)
+	for k := 0; k < n; k++ {
+		x := new(big.Int).Rand(rng, from.Q)
+		xs[k] = x
+		res := from.Encode(x)
+		for i := range in {
+			in[i][k] = res[i]
+		}
+	}
+	out := conv.ConvertApprox(in)
+	bound := conv.OverflowBound()
+	for k := 0; k < n; k++ {
+		// The approximate result must equal x + e·Q mod p for a single
+		// e in [0, L) consistent across all target limbs.
+		found := false
+		for e := uint64(0); e < bound; e++ {
+			ok := true
+			shifted := new(big.Int).Add(xs[k], new(big.Int).Mul(new(big.Int).SetUint64(e), from.Q))
+			for j, m := range to.Moduli {
+				exp := new(big.Int).Mod(shifted, new(big.Int).SetUint64(m.Q)).Uint64()
+				if out[j][k] != exp {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("coeff %d: approx result not of the form x + e·Q for e < %d", k, bound)
+		}
+	}
+}
+
+func TestStep2MatchesNaiveMatMul(t *testing.T) {
+	from, to := testBases(t)
+	conv, err := NewConverter(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	n := 16
+	y := AllocLimbs(from.L(), n)
+	for i, m := range from.Moduli {
+		for k := range y[i] {
+			y[i][k] = rng.Uint64() % m.Q
+		}
+	}
+	out := AllocLimbs(to.L(), n)
+	conv.Step2(out, y)
+	tab := conv.Table()
+	for j, m := range to.Moduli {
+		for k := 0; k < n; k++ {
+			var want uint64
+			for i := range y {
+				want = m.AddMod(want, m.MulMod(y[i][k]%m.Q, tab[j][i]))
+			}
+			if out[j][k] != want {
+				t.Fatalf("limb %d coeff %d: got %d want %d", j, k, out[j][k], want)
+			}
+		}
+	}
+}
+
+func TestCopyLimbs(t *testing.T) {
+	in := AllocLimbs(2, 4)
+	in[0][0] = 7
+	out := CopyLimbs(in)
+	out[0][0] = 9
+	if in[0][0] != 7 {
+		t.Fatal("CopyLimbs aliases input")
+	}
+	if CopyLimbs(nil) != nil {
+		t.Fatal("CopyLimbs(nil) should be nil")
+	}
+}
+
+// Property: Encode/Decode is a bijection on [0, Q).
+func TestEncodeDecodeQuick(t *testing.T) {
+	b := MustBasis([]uint64{12289, 40961, 65537})
+	f := func(lo, hi uint64) bool {
+		x := new(big.Int).Lsh(new(big.Int).SetUint64(hi), 32)
+		x.Add(x, new(big.Int).SetUint64(lo))
+		x.Mod(x, b.Q)
+		return b.Decode(b.Encode(x)).Cmp(x) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: encoding is a ring homomorphism limb-wise.
+func TestRNSHomomorphismQuick(t *testing.T) {
+	b := MustBasis([]uint64{12289, 40961, 65537})
+	f := func(a0, b0 uint64) bool {
+		x := new(big.Int).Mod(new(big.Int).SetUint64(a0), b.Q)
+		y := new(big.Int).Mod(new(big.Int).SetUint64(b0), b.Q)
+		rx, ry := b.Encode(x), b.Encode(y)
+		sum := b.Encode(new(big.Int).Add(x, y))
+		prod := b.Encode(new(big.Int).Mul(x, y))
+		for i, m := range b.Moduli {
+			if m.AddMod(rx[i], ry[i]) != sum[i] {
+				return false
+			}
+			if m.MulMod(rx[i], ry[i]) != prod[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

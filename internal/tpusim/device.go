@@ -1,0 +1,190 @@
+package tpusim
+
+import "math"
+
+// Device is one simulated tensor core: a Spec plus a running trace.
+// Methods return the charged time in seconds and record it, so kernels
+// can be costed compositionally. The model is deliberately serial —
+// the paper's CROSS implementation does not pipeline across kernels
+// (§V-E "Limited Inter-Kernel Optimization"), so op times add.
+type Device struct {
+	Spec  Spec
+	Trace *Trace
+}
+
+// NewDevice returns a device with an empty trace.
+func NewDevice(spec Spec) *Device {
+	return &Device{Spec: spec, Trace: NewTrace()}
+}
+
+// ceilDiv rounds the quotient up.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// MatMulINT8Time models an M×K by K×W INT8 matrix multiplication on the
+// MXU. Dimensions are padded to the systolic tile (the zero padding the
+// paper notes for non-128-divisible reduction dims in Tab. VI), compute
+// runs at the core's peak MAC rate over the padded volume, and the
+// roofline takes the max against streaming the operands through VMEM.
+func (d *Device) MatMulINT8Time(m, k, w int) float64 {
+	t := d.Spec.MXUDim
+	mp := ceilDiv(m, t) * t
+	kp := ceilDiv(k, t) * t
+	wp := ceilDiv(w, t) * t
+	macs := float64(mp) * float64(kp) * float64(wp)
+	compute := macs / d.Spec.PeakMACs
+	// Pipeline fill: one pass of the array per K-tile column.
+	fill := float64(ceilDiv(kp, t)) * float64(t) / d.Spec.ClockHz
+	// Operand streaming: A once, B once, C written (INT8 in, INT32 out).
+	bytes := float64(mp*kp) + float64(kp*wp) + 4*float64(mp*wp)
+	mem := bytes / d.Spec.VMEMReadBW
+	return math.Max(compute+fill, mem)
+}
+
+// MatMulINT8 charges an INT8 MXU matmul to a trace category.
+func (d *Device) MatMulINT8(category string, m, k, w int) float64 {
+	t := d.MatMulINT8Time(m, k, w)
+	d.Trace.Add(category, t)
+	return t
+}
+
+// MXUUtilization reports the fraction of the padded systolic volume
+// doing useful work — the utilization metric behind Tab. V/VI analysis.
+func (d *Device) MXUUtilization(m, k, w int) float64 {
+	t := d.Spec.MXUDim
+	mp := ceilDiv(m, t) * t
+	kp := ceilDiv(k, t) * t
+	wp := ceilDiv(w, t) * t
+	return (float64(m) * float64(k) * float64(w)) / (float64(mp) * float64(kp) * float64(wp))
+}
+
+// VecOpTime models an element-wise VPU kernel over n 32-bit lanes where
+// each output element costs opsPerElem ALU operations (e.g. a Harvey
+// butterfly ≈ 6, a Montgomery VecModMul ≈ 10 — Alg. 1's op count).
+// VReg granularity: n is padded to the (8,128) = 1024-element register
+// group the TPU operates in lock step (§III-B2).
+func (d *Device) VecOpTime(n int, opsPerElem float64) float64 {
+	vreg := d.Spec.VPULanes * d.Spec.VPUSublanes
+	np := ceilDiv(n, vreg) * vreg
+	derate := d.Spec.VPUDerate
+	if derate < 1 {
+		derate = 1
+	}
+	compute := float64(np) * opsPerElem * derate / d.Spec.VPUOps
+	// Every materialised HLO stage round-trips VMEM: opsPerElem stages
+	// each reading two operands and writing one result, with 64-bit
+	// intermediates stored as word pairs (~16 bytes per element-stage).
+	mem := float64(np) * 16 * opsPerElem / d.Spec.VMEMReadBW
+	return math.Max(compute, mem)
+}
+
+// DispatchTime is the fixed XLA kernel-launch overhead.
+func (d *Device) DispatchTime() float64 { return d.Spec.DispatchOverhead }
+
+// Dispatch charges one kernel launch to a category.
+func (d *Device) Dispatch(category string) float64 {
+	t := d.DispatchTime()
+	d.Trace.Add(category, t)
+	return t
+}
+
+// VecOp charges an element-wise VPU kernel.
+func (d *Device) VecOp(category string, n int, opsPerElem float64) float64 {
+	t := d.VecOpTime(n, opsPerElem)
+	d.Trace.Add(category, t)
+	return t
+}
+
+// TransposeTime models an XLU matrix transpose of n contiguous 32-bit
+// elements — full-lane blocks move at XLUElemsPerCycle.
+func (d *Device) TransposeTime(n int) float64 {
+	return float64(n) / (float64(d.Spec.XLUElemsPerCycle) * d.Spec.ClockHz)
+}
+
+// Transpose charges an XLU transpose.
+func (d *Device) Transpose(category string, n int) float64 {
+	t := d.TransposeTime(n)
+	d.Trace.Add(category, t)
+	return t
+}
+
+// ShuffleTime models an XLU shuffle of n 32-bit elements that moves
+// contiguous blocks of blockElems. Blocks smaller than a full VReg row
+// waste lanes proportionally (§III-D1's tile-utilization collapse): the
+// effective rate scales by min(1, blockElems/XLUElemsPerCycle). This is
+// what makes per-stage bit-complement shuffling of the radix-2 NTT
+// catastrophic on the TPU (Tab. X).
+func (d *Device) ShuffleTime(n, blockElems int) float64 {
+	if blockElems < 1 {
+		blockElems = 1
+	}
+	// Blocks must fill a whole (8,128) VReg tile for full throughput;
+	// smaller blocks waste the remaining lanes of every crossing —
+	// §III-D's tile-utilization collapse.
+	grain := d.Spec.VPUSublanes * d.Spec.VPULanes
+	util := math.Min(1, float64(blockElems)/float64(grain))
+	rate := float64(d.Spec.XLUElemsPerCycle) * d.Spec.ClockHz * util
+	return float64(n) / rate
+}
+
+// Shuffle charges an XLU block shuffle.
+func (d *Device) Shuffle(category string, n, blockElems int) float64 {
+	t := d.ShuffleTime(n, blockElems)
+	d.Trace.Add(category, t)
+	return t
+}
+
+// GatherTime models a random gather/scatter of n elements — MAT's
+// fallback for permutations it cannot embed (automorphism, §V-E).
+func (d *Device) GatherTime(n int) float64 {
+	return float64(n) / (float64(d.Spec.GatherElemsPerCycle) * d.Spec.ClockHz)
+}
+
+// Gather charges a random gather/scatter.
+func (d *Device) Gather(category string, n int) float64 {
+	t := d.GatherTime(n)
+	d.Trace.Add(category, t)
+	return t
+}
+
+// TypeConvertTime models the 32-bit↔byte relayout BAT inserts when
+// chunk-stacking runtime operands (Fig. 12's 4% "Type Conversion").
+func (d *Device) TypeConvertTime(n int) float64 {
+	return d.VecOpTime(n, 2)
+}
+
+// TypeConvert charges a chunk-stack/merge conversion.
+func (d *Device) TypeConvert(category string, n int) float64 {
+	t := d.TypeConvertTime(n)
+	d.Trace.Add(category, t)
+	return t
+}
+
+// HBMTime models off-chip traffic of the given bytes.
+func (d *Device) HBMTime(bytes int64) float64 {
+	return float64(bytes) / d.Spec.HBMBandwidth
+}
+
+// HBM charges off-chip traffic.
+func (d *Device) HBM(category string, bytes int64) float64 {
+	t := d.HBMTime(bytes)
+	d.Trace.Add(category, t)
+	return t
+}
+
+// CopyTime models an on-chip VMEM-to-VMEM copy/reshape.
+func (d *Device) CopyTime(bytes int64) float64 {
+	return float64(bytes) / d.Spec.VMEMWriteBW
+}
+
+// Copy charges an on-chip copy/reshape.
+func (d *Device) Copy(category string, bytes int64) float64 {
+	t := d.CopyTime(bytes)
+	d.Trace.Add(category, t)
+	return t
+}
+
+// FitsOnChip reports whether a working set fits the core's on-chip
+// memory — the capacity test behind the batch-size knees of Fig. 11b.
+func (d *Device) FitsOnChip(bytes int64) bool {
+	return bytes <= d.Spec.OnChipCapacity
+}

@@ -1,0 +1,191 @@
+// Package tpusim is the TPU substitute for this reproduction: an
+// analytical performance model of the TPU generations the paper
+// evaluates (v4, v5e, v5p, v6e — Tab. IV), exposing the three
+// architectural units CROSS schedules onto (Fig. 4):
+//
+//   - MXU: the 128×128 (256×256 on v6e) INT8 systolic matrix engine;
+//   - VPU: 2048 32-bit SIMD ALUs organised as 128 lanes × 8 sublanes,
+//     operating lock-step on (8, 128) 4 KB vector registers;
+//   - XLU: the cross-lane unit for transpose/shuffle/gather, whose
+//     coarse granularity is the villain of §III-D.
+//
+// The model is a roofline: every operation is charged
+// max(compute time, memory time) and appended to a category trace so
+// that latency breakdowns (Fig. 12) fall out of execution. Absolute
+// times are not silicon-accurate; the comparative shapes — MXU≫VPU
+// throughput ratio, reorder granularity penalties, batch-capacity
+// knees — follow the paper's published per-core specifications.
+//
+// Real hardware substitution note (DESIGN.md §2): the paper measures
+// real TPUs through JAX/XLA; this package replaces them because the
+// reproduction environment has no accelerator. Functional results are
+// computed bit-exactly on the CPU by the callers; this package accounts
+// time only.
+package tpusim
+
+// Spec describes one tensor core of a TPU generation. Compute and
+// bandwidth figures for one tensor core come from the paper's Tab. IV
+// (obtained by the authors from XProf); microarchitectural shape
+// parameters from Fig. 4 and the cited TPU papers.
+type Spec struct {
+	Name string
+
+	// MXU systolic array.
+	MXUDim  int // systolic array dimension (128; 256 on v6e)
+	NumMXUs int // MXUs per tensor core
+
+	// PeakMACs is the tensor core's peak INT8 MAC rate (MAC/s),
+	// derived from Tab. IV GFLOPs (1 FLOP pair = 1 MAC).
+	PeakMACs float64
+
+	// VPU.
+	VPULanes    int     // SIMD lanes (128)
+	VPUSublanes int     // sublanes per lane (8)
+	VPUOps      float64 // peak 32-bit ALU ops/s for the core
+	ClockHz     float64
+
+	// Memory system (bytes/s, per tensor core, Tab. IV).
+	HBMBandwidth   float64
+	VMEMReadBW     float64
+	VMEMWriteBW    float64
+	OnChipCapacity int64 // bytes of effectively usable on-chip memory
+
+	// XLU reordering engine.
+	XLUElemsPerCycle    int // contiguous 32-bit elements moved per cycle
+	GatherElemsPerCycle int // random-access gather/scatter rate
+
+	// VPUDerate models XLA's materialisation of HLO intermediates:
+	// every logical ALU op on the VPU costs this many effective ops
+	// (each HLO stage writes its result back to VMEM rather than
+	// staying in registers — no fusion across modular-arithmetic
+	// stages, §V-E).
+	VPUDerate float64
+
+	// DispatchOverhead is the per-kernel-launch cost of the XLA
+	// runtime (seconds) — the fixed price every lowered kernel
+	// sequence pays regardless of batch, and the reason batching
+	// helps small problems so much (Fig. 11b).
+	DispatchOverhead float64
+
+	// WattsPerCore approximates TDP per tensor core, used only to scale
+	// core counts to a comparison platform's power envelope (§V-A
+	// metric methodology).
+	WattsPerCore float64
+}
+
+const gib = 1024 * 1024 * 1024
+
+// TPUv4 returns the v4 tensor-core model (Tab. IV column 1; CMEM-backed
+// on-chip capacity per Fig. 4).
+func TPUv4() Spec {
+	return Spec{
+		Name:                "TPUv4",
+		MXUDim:              128,
+		NumMXUs:             4,
+		PeakMACs:            139800e9 / 2,
+		VPULanes:            128,
+		VPUSublanes:         8,
+		VPUOps:              1.2e12,
+		ClockHz:             1.05e9,
+		HBMBandwidth:        572 * gib,
+		VMEMReadBW:          2003 * gib,
+		VMEMWriteBW:         1001 * gib,
+		OnChipCapacity:      80 << 20, // 16 MB VMEM + ½ of 128 MB CMEM
+		XLUElemsPerCycle:    128,
+		GatherElemsPerCycle: 8,
+		VPUDerate:           3,
+		DispatchOverhead:    15e-6,
+		WattsPerCore:        96,
+	}
+}
+
+// TPUv5e returns the v5e tensor-core model (Tab. IV column 2).
+func TPUv5e() Spec {
+	return Spec{
+		Name:                "TPUv5e",
+		MXUDim:              128,
+		NumMXUs:             4,
+		PeakMACs:            202700e9 / 2,
+		VPULanes:            128,
+		VPUSublanes:         8,
+		VPUOps:              1.6e12,
+		ClockHz:             1.4e9,
+		HBMBandwidth:        763 * gib,
+		VMEMReadBW:          17166 * gib,
+		VMEMWriteBW:         5722 * gib,
+		OnChipCapacity:      40 << 20,
+		XLUElemsPerCycle:    128,
+		GatherElemsPerCycle: 8,
+		VPUDerate:           3,
+		DispatchOverhead:    8e-6,
+		WattsPerCore:        55,
+	}
+}
+
+// TPUv5p returns the v5p tensor-core model (Tab. IV column 3).
+func TPUv5p() Spec {
+	return Spec{
+		Name:                "TPUv5p",
+		MXUDim:              128,
+		NumMXUs:             4,
+		PeakMACs:            236700e9 / 2,
+		VPULanes:            128,
+		VPUSublanes:         8,
+		VPUOps:              1.9e12,
+		ClockHz:             1.75e9,
+		HBMBandwidth:        1287 * gib,
+		VMEMReadBW:          20027 * gib,
+		VMEMWriteBW:         6676 * gib,
+		OnChipCapacity:      96 << 20,
+		XLUElemsPerCycle:    128,
+		GatherElemsPerCycle: 8,
+		VPUDerate:           3,
+		DispatchOverhead:    6e-6,
+		WattsPerCore:        110,
+	}
+}
+
+// TPUv6e returns the v6e tensor-core model (Tab. IV column 4; 256×256
+// systolic array per the table footnote).
+func TPUv6e() Spec {
+	return Spec{
+		Name:                "TPUv6e",
+		MXUDim:              256,
+		NumMXUs:             2,
+		PeakMACs:            918000e9 / 2,
+		VPULanes:            128,
+		VPUSublanes:         8,
+		VPUOps:              3.2e12,
+		ClockHz:             1.7e9,
+		HBMBandwidth:        1526 * gib,
+		VMEMReadBW:          21696 * gib,
+		VMEMWriteBW:         15020 * gib,
+		OnChipCapacity:      12 << 20,
+		XLUElemsPerCycle:    128,
+		GatherElemsPerCycle: 8,
+		VPUDerate:           3,
+		DispatchOverhead:    3e-6,
+		WattsPerCore:        90,
+	}
+}
+
+// AllSpecs returns the four modelled generations in the paper's order.
+func AllSpecs() []Spec {
+	return []Spec{TPUv4(), TPUv5e(), TPUv5p(), TPUv6e()}
+}
+
+// SpecByName resolves a generation by its Tab. IV name.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range AllSpecs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// MXUToVPURatio returns the throughput ratio that motivates BAT
+// (§III-B1: ~58× on v4, versus ~4× for a GPU's tensor-to-CUDA cores).
+func (s Spec) MXUToVPURatio() float64 {
+	return (2 * s.PeakMACs) / s.VPUOps
+}

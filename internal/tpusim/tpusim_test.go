@@ -1,0 +1,183 @@
+package tpusim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSpecsSane(t *testing.T) {
+	for _, s := range AllSpecs() {
+		if s.PeakMACs <= 0 || s.VPUOps <= 0 || s.HBMBandwidth <= 0 {
+			t.Errorf("%s: non-positive rates", s.Name)
+		}
+		if s.MXUDim != 128 && s.MXUDim != 256 {
+			t.Errorf("%s: unexpected MXU dim %d", s.Name, s.MXUDim)
+		}
+		// The arithmetic-mismatch premise (§III-B1): MXU must dwarf VPU.
+		if r := s.MXUToVPURatio(); r < 20 {
+			t.Errorf("%s: MXU/VPU ratio %.1f too small to motivate BAT", s.Name, r)
+		}
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	for _, name := range []string{"TPUv4", "TPUv5e", "TPUv5p", "TPUv6e"} {
+		s, ok := SpecByName(name)
+		if !ok || s.Name != name {
+			t.Errorf("SpecByName(%q) failed", name)
+		}
+	}
+	if _, ok := SpecByName("TPUv99"); ok {
+		t.Error("SpecByName accepted unknown name")
+	}
+}
+
+func TestGenerationOrdering(t *testing.T) {
+	// Newer generations are faster: v6e > v5p > v5e > v4 in peak MACs
+	// and HBM bandwidth (Tab. IV).
+	specs := AllSpecs()
+	for i := 1; i < len(specs); i++ {
+		if specs[i].PeakMACs <= specs[i-1].PeakMACs {
+			t.Errorf("%s not faster than %s", specs[i].Name, specs[i-1].Name)
+		}
+		if specs[i].HBMBandwidth <= specs[i-1].HBMBandwidth {
+			t.Errorf("%s HBM not faster than %s", specs[i].Name, specs[i-1].Name)
+		}
+	}
+}
+
+func TestMatMulTimeMonotone(t *testing.T) {
+	d := NewDevice(TPUv6e())
+	small := d.MatMulINT8Time(256, 256, 256)
+	big := d.MatMulINT8Time(2048, 2048, 2048)
+	if big <= small {
+		t.Error("larger matmul should take longer")
+	}
+	// 512³ has 8× the MACs of 256³ — compute-bound scaling should be
+	// within a factor of [4, 16] (padding and fill allowed).
+	a := d.MatMulINT8Time(512, 512, 512)
+	b := d.MatMulINT8Time(1024, 1024, 1024)
+	if ratio := b / a; ratio < 4 || ratio > 16 {
+		t.Errorf("1024³/512³ time ratio %.2f outside [4,16]", ratio)
+	}
+}
+
+func TestMatMulPadding(t *testing.T) {
+	d := NewDevice(TPUv4())
+	// A 1×1×1 matmul still pays a full tile.
+	tiny := d.MatMulINT8Time(1, 1, 1)
+	tile := d.MatMulINT8Time(128, 128, 128)
+	if tiny != tile {
+		t.Error("sub-tile matmul should cost a full tile")
+	}
+	if u := d.MXUUtilization(64, 128, 128); math.Abs(u-0.5) > 1e-9 {
+		t.Errorf("utilization of half-tile = %f want 0.5", u)
+	}
+	if u := d.MXUUtilization(128, 128, 128); u != 1 {
+		t.Errorf("full tile utilization %f", u)
+	}
+}
+
+func TestVecOpVRegPadding(t *testing.T) {
+	d := NewDevice(TPUv4())
+	// 1 element costs the same as a full (8,128) VReg group.
+	if d.VecOpTime(1, 4) != d.VecOpTime(1024, 4) {
+		t.Error("sub-VReg vector op should cost a full VReg")
+	}
+	if d.VecOpTime(1025, 4) <= d.VecOpTime(1024, 4) {
+		t.Error("VReg boundary crossing should cost more")
+	}
+}
+
+func TestShuffleGranularityPenalty(t *testing.T) {
+	d := NewDevice(TPUv4())
+	n := 1 << 14
+	full := d.ShuffleTime(n, 1024)
+	fine := d.ShuffleTime(n, 1)
+	if fine/full < 100 {
+		t.Errorf("fine-grained shuffle penalty %.0f× too small; §III-D demands coarse-granularity collapse", fine/full)
+	}
+	if d.ShuffleTime(n, 2048) != full {
+		t.Error("utilization should cap at 1")
+	}
+	if d.ShuffleTime(n, 0) != fine {
+		t.Error("blockElems < 1 should clamp to 1")
+	}
+}
+
+func TestGatherSlowerThanTranspose(t *testing.T) {
+	d := NewDevice(TPUv6e())
+	n := 1 << 16
+	if d.GatherTime(n) <= d.TransposeTime(n) {
+		t.Error("random gather must be slower than block transpose")
+	}
+}
+
+func TestRooflineMemoryBound(t *testing.T) {
+	// A skinny matmul (tiny compute, big data) must be memory-bound:
+	// time ≈ bytes/BW rather than MACs/peak.
+	d := NewDevice(TPUv6e())
+	m, k, w := 256, 256, 256
+	tm := d.MatMulINT8Time(m, k, w)
+	bytes := float64(m*k+k*w) + 4*float64(m*w)
+	memOnly := bytes / d.Spec.VMEMReadBW
+	if tm < memOnly {
+		t.Error("roofline violated: time below memory bound")
+	}
+}
+
+func TestTraceAccumulation(t *testing.T) {
+	d := NewDevice(TPUv4())
+	d.MatMulINT8(CatNTTMatMul, 256, 256, 256)
+	d.VecOp(CatVecModOps, 4096, 10)
+	d.Gather(CatPermutation, 4096)
+	d.TypeConvert(CatTypeConv, 4096)
+	d.HBM(CatHBM, 1<<20)
+	d.Copy(CatCopyReshape, 1<<20)
+	d.Transpose(CatPermutation, 1024)
+	d.Shuffle(CatPermutation, 1024, 8)
+
+	total := d.Trace.Total()
+	var sum float64
+	for _, v := range d.Trace.ByCategory() {
+		sum += v
+	}
+	if math.Abs(total-sum) > 1e-15 {
+		t.Error("trace total != sum of categories")
+	}
+	if d.Trace.Seconds(CatNTTMatMul) <= 0 {
+		t.Error("category not charged")
+	}
+	b := d.Trace.Breakdown()
+	if !strings.Contains(b, CatVecModOps) {
+		t.Error("breakdown missing category")
+	}
+	d.Trace.Reset()
+	if d.Trace.Total() != 0 {
+		t.Error("reset failed")
+	}
+	if d.Trace.Breakdown() != "(empty trace)" {
+		t.Error("empty breakdown")
+	}
+}
+
+func TestFitsOnChip(t *testing.T) {
+	d := NewDevice(TPUv6e())
+	if !d.FitsOnChip(1 << 20) {
+		t.Error("1 MB should fit")
+	}
+	if d.FitsOnChip(1 << 30) {
+		t.Error("1 GB should not fit")
+	}
+}
+
+func TestV6eLargerTile(t *testing.T) {
+	v4 := NewDevice(TPUv4())
+	v6 := NewDevice(TPUv6e())
+	// Same sub-tile op: v6e pads to 256 but has far higher peak;
+	// a full 256³ op must still be far faster on v6e.
+	if v6.MatMulINT8Time(256, 256, 256) >= v4.MatMulINT8Time(256, 256, 256) {
+		t.Error("v6e should beat v4 on a 256³ matmul")
+	}
+}

@@ -1,0 +1,86 @@
+package tpusim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Category labels match the paper's Fig. 12 latency-breakdown legend so
+// that the profiler output can be compared side by side.
+const (
+	CatNTTMatMul   = "NTT-MatMul"
+	CatINTTMatMul  = "INTT-MatMul"
+	CatBConvMatMul = "BConv-MatMul"
+	CatVecModOps   = "VecModOps"
+	CatPermutation = "Permutation"
+	CatTypeConv    = "Type Conversion"
+	CatCopyReshape = "Copy+Reshape"
+	CatHBM         = "HBM Traffic"
+	CatOther       = "Other"
+)
+
+// Trace accumulates simulated time per category — the reproduction's
+// stand-in for the XLA profiler's trace viewer (§V-A methodology).
+type Trace struct {
+	seconds map[string]float64
+	order   []string
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{seconds: make(map[string]float64)}
+}
+
+// Add charges d seconds to a category.
+func (t *Trace) Add(category string, d float64) {
+	if _, ok := t.seconds[category]; !ok {
+		t.order = append(t.order, category)
+	}
+	t.seconds[category] += d
+}
+
+// Total returns the summed simulated seconds.
+func (t *Trace) Total() float64 {
+	var s float64
+	for _, v := range t.seconds {
+		s += v
+	}
+	return s
+}
+
+// Seconds returns the time charged to one category.
+func (t *Trace) Seconds(category string) float64 { return t.seconds[category] }
+
+// ByCategory returns a copy of the category map.
+func (t *Trace) ByCategory() map[string]float64 {
+	out := make(map[string]float64, len(t.seconds))
+	for k, v := range t.seconds {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset clears the trace.
+func (t *Trace) Reset() {
+	t.seconds = make(map[string]float64)
+	t.order = nil
+}
+
+// Breakdown renders the trace as percentage lines sorted by share,
+// mirroring Fig. 12's horizontal bars.
+func (t *Trace) Breakdown() string {
+	total := t.Total()
+	if total == 0 {
+		return "(empty trace)"
+	}
+	cats := append([]string(nil), t.order...)
+	sort.Slice(cats, func(i, j int) bool {
+		return t.seconds[cats[i]] > t.seconds[cats[j]]
+	})
+	var b strings.Builder
+	for _, c := range cats {
+		fmt.Fprintf(&b, "%-16s %6.2f%%  (%.2f µs)\n", c, 100*t.seconds[c]/total, t.seconds[c]*1e6)
+	}
+	return b.String()
+}
