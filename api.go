@@ -14,8 +14,12 @@
 //   - Compiler layer: Compiler lowers HE kernels onto a simulated TPU
 //     tensor core (Device) and reports per-kernel latency and
 //     per-category breakdowns, reproducing the paper's evaluation.
+//     Pod and ShardedCompiler extend the lowering to multi-core TPU
+//     slices joined by the inter-chip interconnect, sharding
+//     limb-parallel and slot-parallel kernel work across cores.
 //   - Experiments layer: Experiment/AllExperiments regenerate every
-//     table and figure of the paper's §V with paper-vs-measured rows.
+//     table and figure of the paper's §V with paper-vs-measured rows,
+//     plus the beyond-paper core-count scaling sweep.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction results.
@@ -81,6 +85,29 @@ func NewDevice(spec DeviceSpec) *Device { return tpusim.NewDevice(spec) }
 
 // NewCompiler builds a CROSS compiler for a device and parameter set.
 func NewCompiler(dev *Device, p Params) (*Compiler, error) { return icross.New(dev, p) }
+
+// ---- Pod / sharded-lowering layer ----
+
+// Pod is a multi-core TPU slice: N tensor cores joined by the
+// inter-chip interconnect, with ring-collective cost models
+// (AllReduceTime, BroadcastTime, …).
+type Pod = tpusim.Pod
+
+// ShardedCompiler lowers HE kernels across a Pod, splitting
+// limb-parallel and slot-parallel work over the cores and charging
+// collective/synchronization cost where the mathematics mixes limbs
+// or digits. Obtain one via NewShardedCompiler or
+// Compiler.LowerSharded.
+type ShardedCompiler = icross.ShardedCompiler
+
+// NewPod instantiates an n-core pod of one TPU generation.
+func NewPod(spec DeviceSpec, cores int) (*Pod, error) { return tpusim.NewPod(spec, cores) }
+
+// NewShardedCompiler builds the pod-scale CROSS lowering for a
+// parameter set.
+func NewShardedCompiler(pod *Pod, p Params) (*ShardedCompiler, error) {
+	return icross.NewSharded(pod, p)
+}
 
 // ---- HE layer ----
 

@@ -140,10 +140,37 @@ func TestRingFacade(t *testing.T) {
 	}
 }
 
+func TestPodFacade(t *testing.T) {
+	if _, err := NewPod(TPUv6e(), 0); err == nil {
+		t.Error("expected error for zero-core pod")
+	}
+	pod, err := NewPod(TPUv6e(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pod.AllReduceTime(1<<20) <= 0 || pod.BroadcastTime(1<<20) <= 0 {
+		t.Error("collectives free on an 8-core pod")
+	}
+	sc, err := NewShardedCompiler(pod, SetD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := NewCompiler(NewDevice(TPUv6e()), SetD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Snapshot(sc.CostHEMult) >= single.Snapshot(single.CostHEMult) {
+		t.Error("8-core sharded HE-Mult should beat single-core")
+	}
+	if _, err := single.LowerSharded(pod); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestExperimentFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(ids))
+	if len(ids) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(ids))
 	}
 	exp, err := ExperimentByID("Table V")
 	if err != nil {

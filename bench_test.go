@@ -418,6 +418,92 @@ func BenchmarkHoisting(b *testing.B) {
 	}
 }
 
+// BenchmarkCoreScaling regenerates the pod scaling sweep's headline
+// numbers: sharded HE-Mult latency at 1/2/4/8 cores for Set D.
+func BenchmarkCoreScaling(b *testing.B) {
+	p := icross.SetD()
+	single := mustCompiler(b, tpusim.TPUv6e(), p)
+	base := single.Snapshot(single.CostHEMult)
+	for _, cores := range []int{1, 2, 4, 8} {
+		cores := cores
+		b.Run(fmt.Sprintf("cores%d", cores), func(b *testing.B) {
+			pod := tpusim.MustPod(tpusim.TPUv6e(), cores)
+			sc, err := icross.NewSharded(pod, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				lat = sc.Snapshot(sc.CostHEMult)
+			}
+			b.ReportMetric(lat*1e6, "sim_mult_us")
+			b.ReportMetric(base/lat, "sim_speedup")
+		})
+	}
+}
+
+// BenchmarkParallelNTT times the host-side limb-parallel NTT worker
+// pool (real wall time — the `go test -bench` comparison of the
+// Parallelism option).
+func BenchmarkParallelNTT(b *testing.B) {
+	n := 1 << 14
+	limbs := 16
+	primes, err := modarith.GenerateNTTPrimes(28, uint64(n), limbs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rg := ring.MustRing(n, primes)
+	rng := rand.New(rand.NewSource(9))
+	src := ring.NewPoly(limbs, n)
+	for i := range src.Coeffs {
+		for k := range src.Coeffs[i] {
+			src.Coeffs[i][k] = rng.Uint64() % primes[i]
+		}
+	}
+	for _, workers := range []int{1, 2, ring.DefaultParallelism()} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			rp := rg.WithParallelism(workers)
+			buf := src.CopyNew()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rp.NTT(buf)
+				rp.INTT(buf)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelBATMatMul times the row-sharded BAT matmul pipeline
+// against the serial path (real wall time).
+func BenchmarkParallelBATMatMul(b *testing.B) {
+	m := modarith.MustModulus(268369921)
+	rng := rand.New(rand.NewSource(10))
+	h, v, w := 256, 128, 128
+	a := make([]uint64, h*v)
+	x := make([]uint64, v*w)
+	for i := range a {
+		a[i] = rng.Uint64() % m.Q
+	}
+	for i := range x {
+		x[i] = rng.Uint64() % m.Q
+	}
+	plan, err := bat.OfflineCompileLeft(m, a, h, v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, bat.DefaultParallelism()} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.MulParallel(x, w, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkBATScalar times the three scalar-multiplication routes the
 // paper contrasts (Fig. 7, Fig. 16).
 func BenchmarkBATScalar(b *testing.B) {

@@ -7,6 +7,8 @@
 //	crossbench                 # run everything (paper order)
 //	crossbench -list           # list experiment identifiers
 //	crossbench -experiment id  # run one experiment ("Table V", "fig11b", …)
+//	crossbench -scaling        # pod core-count scaling sweep (1/2/4/8 cores)
+//	crossbench -scaling -device TPUv5p
 //
 // Run with: go run ./cmd/crossbench [flags]
 package main
@@ -17,12 +19,41 @@ import (
 	"os"
 
 	"cross"
+	"cross/internal/harness"
+	"cross/internal/tpusim"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
 	experiment := flag.String("experiment", "", "run a single experiment by identifier")
+	scaling := flag.Bool("scaling", false, "run only the pod core-count scaling sweep")
+	device := flag.String("device", "TPUv6e", "TPU generation for -scaling (TPUv4, TPUv5e, TPUv5p, TPUv6e)")
 	flag.Parse()
+
+	deviceSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "device" {
+			deviceSet = true
+		}
+	})
+	if *scaling && (*list || *experiment != "") {
+		fmt.Fprintln(os.Stderr, "crossbench: -scaling cannot be combined with -list or -experiment")
+		os.Exit(1)
+	}
+	if deviceSet && !*scaling {
+		fmt.Fprintln(os.Stderr, "crossbench: -device only applies to -scaling")
+		os.Exit(1)
+	}
+
+	if *scaling {
+		spec, ok := tpusim.SpecByName(*device)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "crossbench: unknown device %q\n", *device)
+			os.Exit(1)
+		}
+		fmt.Println(harness.CoreScalingOn(spec).String())
+		return
+	}
 
 	if *list {
 		for _, id := range cross.ExperimentIDs() {

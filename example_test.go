@@ -36,6 +36,55 @@ func Example() {
 	// simulated HE-Mult is 238× HE-Add
 }
 
+// ExampleNewPod demonstrates the pod-scale lowering: the same HE-Mult
+// schedule lowered onto one core and onto a 4-core pod, where the
+// limb- and digit-parallel work shards across cores and only the
+// collective phases pay inter-chip (ICI) cost.
+func ExampleNewPod() {
+	single, err := cross.NewPod(cross.TPUv6e(), 1)
+	if err != nil {
+		panic(err)
+	}
+	quad, err := cross.NewPod(cross.TPUv6e(), 4)
+	if err != nil {
+		panic(err)
+	}
+	one, err := cross.NewShardedCompiler(single, cross.SetD())
+	if err != nil {
+		panic(err)
+	}
+	four, err := cross.NewShardedCompiler(quad, cross.SetD())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(quad.Name(), "cores:", four.NumCores())
+	fmt.Println("4-core HE-Mult faster:", four.Snapshot(four.CostHEMult) < one.Snapshot(one.CostHEMult))
+	// Output:
+	// TPUv6e-4 cores: 4
+	// 4-core HE-Mult faster: true
+}
+
+// ExampleCompiler_LowerSharded re-targets an existing single-core
+// compiler at a pod and shows that a one-core pod reproduces the
+// single-core model exactly (the sharded lowering is a strict
+// generalisation).
+func ExampleCompiler_LowerSharded() {
+	comp, err := cross.NewCompiler(cross.NewDevice(cross.TPUv5p()), cross.SetC())
+	if err != nil {
+		panic(err)
+	}
+	pod, err := cross.NewPod(cross.TPUv5p(), 1)
+	if err != nil {
+		panic(err)
+	}
+	sharded, err := comp.LowerSharded(pod)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sharded.Snapshot(sharded.CostHEMult) == comp.Snapshot(comp.CostHEMult))
+	// Output: true
+}
+
 // ExampleCompileScalarBAT shows BAT's core transformation: a pre-known
 // scalar becomes a dense K×K uint8 matrix whose INT8 matrix-vector
 // product computes the modular multiplication (paper Fig. 7).

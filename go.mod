@@ -1,0 +1,3 @@
+module cross
+
+go 1.24

@@ -86,15 +86,15 @@ func (p *MatMulPlan) PsumBits() uint { return p.psumBits() }
 // int32 accumulation — the exact arithmetic of the MXU systolic array.
 // It returns the KH×W int32 partial-sum matrix.
 func (p *MatMulPlan) MatMulLowPrec(bDense []uint8, w int) ([]int32, error) {
-	if p.psumBits() > 31 {
-		return nil, fmt.Errorf("bat: partial sums need %d bits, exceeding the 32-bit MXU accumulator", p.psumBits())
-	}
-	kh, kv := p.K*p.H, p.K*p.V
-	if len(bDense) != kv*w {
-		return nil, fmt.Errorf("bat: dense right matrix is %d elements, want %d×%d", len(bDense), kv, w)
-	}
-	z := make([]int32, kh*w)
-	for i := 0; i < kh; i++ {
+	return p.MatMulLowPrecParallel(bDense, w, 1)
+}
+
+// matMulRows computes output rows [i0, i1) of the low-precision
+// product into z — the unit of work both the serial path and the
+// parallel row-sharded path execute identically.
+func (p *MatMulPlan) matMulRows(bDense []uint8, w, i0, i1 int, z []int32) {
+	kv := p.K * p.V
+	for i := i0; i < i1; i++ {
 		arow := p.ADense[i*kv : (i+1)*kv]
 		zrow := z[i*w : (i+1)*w]
 		for kk := 0; kk < kv; kk++ {
@@ -108,17 +108,22 @@ func (p *MatMulPlan) MatMulLowPrec(bDense []uint8, w int) ([]int32, error) {
 			}
 		}
 	}
-	return z, nil
 }
 
 // MergeReduce merges each K-row group of the int32 partial-sum matrix
 // into a word and reduces it mod q (Alg. 2 MAIN lines 33–36), returning
 // the H×W result of the original high-precision ModMatMul.
 func (p *MatMulPlan) MergeReduce(z []int32, w int) []uint64 {
-	out := make([]uint64, p.H*w)
+	return p.MergeReduceParallel(z, w, 1)
+}
+
+// mergeReduceRows merges output rows [h0, h1) into out, with a
+// caller-local psums scratch so concurrent row ranges don't share
+// state.
+func (p *MatMulPlan) mergeReduceRows(z []int32, w, h0, h1 int, out []uint64) {
 	k := p.K
 	psums := make([]int32, k)
-	for hh := 0; hh < p.H; hh++ {
+	for hh := h0; hh < h1; hh++ {
 		for ww := 0; ww < w; ww++ {
 			for i := 0; i < k; i++ {
 				psums[i] = z[(hh*k+i)*w+ww]
@@ -126,21 +131,12 @@ func (p *MatMulPlan) MergeReduce(z []int32, w int) []uint64 {
 			out[hh*w+ww] = p.m.Reduce(ChunkMergeWide(psums))
 		}
 	}
-	return out
 }
 
 // Mul executes the full pipeline (Alg. 2 MAIN-FULLMATMUL): compile the
 // right operand, run the low-precision MatMul, merge and reduce.
 func (p *MatMulPlan) Mul(b []uint64, w int) ([]uint64, error) {
-	bDense, err := p.CompileRight(b, w)
-	if err != nil {
-		return nil, err
-	}
-	z, err := p.MatMulLowPrec(bDense, w)
-	if err != nil {
-		return nil, err
-	}
-	return p.MergeReduce(z, w), nil
+	return p.MulParallel(b, w, 1)
 }
 
 // ModMatMulDirect is the high-precision reference: out = A·B mod q

@@ -1,0 +1,86 @@
+package bat
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"cross/internal/modarith"
+)
+
+// The Parallelism guard for the BAT pipeline: every worker count must
+// reproduce the serial result bit for bit (ISSUE acceptance).
+func TestMulParallelBitExact(t *testing.T) {
+	m := modarith.MustModulus(268369921)
+	rng := rand.New(rand.NewSource(5))
+	h, v, w := 33, 17, 29 // deliberately not worker-divisible
+	a := make([]uint64, h*v)
+	b := make([]uint64, v*w)
+	for i := range a {
+		a[i] = rng.Uint64() % m.Q
+	}
+	for i := range b {
+		b[i] = rng.Uint64() % m.Q
+	}
+	plan, err := OfflineCompileLeft(m, a, h, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := plan.Mul(b, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := ModMatMulDirect(m, a, h, v, b, w)
+
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		got, err := plan.MulParallel(b, w, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: element %d = %d, serial %d", workers, i, got[i], serial[i])
+			}
+			if got[i] != oracle[i] {
+				t.Fatalf("workers=%d: element %d = %d, oracle %d", workers, i, got[i], oracle[i])
+			}
+		}
+	}
+}
+
+func TestMulParallelValidation(t *testing.T) {
+	m := modarith.MustModulus(268369921)
+	plan, err := OfflineCompileLeft(m, []uint64{1, 2, 3, 4}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.MulParallel([]uint64{1, 2, 3}, 2, 4); err == nil {
+		t.Error("expected size-mismatch error")
+	}
+	if _, err := plan.MatMulLowPrecParallel(make([]uint8, 3), 2, 4); err == nil {
+		t.Error("expected dense size-mismatch error")
+	}
+}
+
+func TestRowRanges(t *testing.T) {
+	for _, tc := range []struct{ n, workers, want int }{
+		{10, 4, 4}, {3, 8, 3}, {7, 1, 1}, {0, 4, 0}, {16, 0, 1},
+	} {
+		ranges := rowRanges(tc.n, tc.workers)
+		if len(ranges) > tc.want && tc.want > 0 {
+			t.Errorf("rowRanges(%d,%d) = %d chunks, want ≤ %d", tc.n, tc.workers, len(ranges), tc.want)
+		}
+		covered := 0
+		prevEnd := 0
+		for _, r := range ranges {
+			if r[0] != prevEnd {
+				t.Errorf("rowRanges(%d,%d): gap before %v", tc.n, tc.workers, r)
+			}
+			covered += r[1] - r[0]
+			prevEnd = r[1]
+		}
+		if covered != tc.n {
+			t.Errorf("rowRanges(%d,%d) covers %d rows", tc.n, tc.workers, covered)
+		}
+	}
+}

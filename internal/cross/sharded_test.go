@@ -1,0 +1,176 @@
+package cross
+
+import (
+	"math"
+	"testing"
+
+	"cross/internal/tpusim"
+)
+
+func mustSharded(t *testing.T, spec tpusim.Spec, cores int, p Params) *ShardedCompiler {
+	t.Helper()
+	pod, err := tpusim.NewPod(spec, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSharded(pod, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestShardedValidation(t *testing.T) {
+	if _, err := NewSharded(nil, SetA()); err == nil {
+		t.Error("expected error for nil pod")
+	}
+	pod := tpusim.MustPod(tpusim.TPUv6e(), 2)
+	if _, err := NewSharded(pod, Params{}); err == nil {
+		t.Error("expected validation error for zero params")
+	}
+	c, err := New(tpusim.NewDevice(tpusim.TPUv6e()), SetB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.LowerSharded(pod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumCores() != 2 || s.P.LogN != SetB().LogN {
+		t.Error("LowerSharded lost configuration")
+	}
+}
+
+// A one-core pod must reproduce the single-core compiler exactly: the
+// sharded lowering degenerates to the paper's model with zero
+// collective cost.
+func TestShardedOneCoreIdentity(t *testing.T) {
+	for _, name := range []string{"A", "B", "C", "D"} {
+		p, err := NamedSet(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, err := New(tpusim.NewDevice(tpusim.TPUv6e()), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := mustSharded(t, tpusim.TPUv6e(), 1, p)
+
+		pairs := [][2]float64{
+			{single.Snapshot(single.CostHEMult), s.Snapshot(s.CostHEMult)},
+			{single.Snapshot(single.CostKeySwitch), s.Snapshot(s.CostKeySwitch)},
+			{single.Snapshot(single.CostRescale), s.Snapshot(s.CostRescale)},
+			{single.Snapshot(single.CostRotate), s.Snapshot(s.CostRotate)},
+			{single.Snapshot(single.CostHEAdd), s.Snapshot(s.CostHEAdd)},
+			{single.Snapshot(func() float64 { return single.CostNTTMat(8) }),
+				s.Snapshot(func() float64 { return s.CostNTTMat(8) })},
+			{single.Snapshot(func() float64 { return single.CostBConv(p.N(), 4, 8, true) }),
+				s.Snapshot(func() float64 { return s.CostBConv(p.N(), 4, 8) })},
+		}
+		for i, pr := range pairs {
+			if pr[0] != pr[1] {
+				t.Errorf("Set%s pair %d: single %g != sharded-1 %g", name, i, pr[0], pr[1])
+			}
+		}
+	}
+}
+
+// Large kernels must get strictly faster with more cores — the
+// acceptance bar for the pod layer. SetC and SetD are the paper's
+// large configurations.
+func TestShardedSpeedupOnLargeKernels(t *testing.T) {
+	for _, name := range []string{"C", "D"} {
+		p, err := NamedSet(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, err := New(tpusim.NewDevice(tpusim.TPUv6e()), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := single.Snapshot(single.CostHEMult)
+		prev := base
+		for _, cores := range []int{2, 4, 8} {
+			s := mustSharded(t, tpusim.TPUv6e(), cores, p)
+			got := s.Snapshot(s.CostHEMult)
+			if got >= base {
+				t.Errorf("Set%s %d cores: sharded HE-Mult %g ≥ single-core %g", name, cores, got, base)
+			}
+			// The largest set must keep improving through 8 cores;
+			// smaller sets may hit their scaling knee earlier (the
+			// collective latency term grows with the core count).
+			if name == "D" && got >= prev {
+				t.Errorf("Set%s %d cores: HE-Mult %g not below %d-core time %g", name, cores, got, cores/2, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+// The pure limb-parallel NTT batch has no collectives and must scale
+// nearly linearly when the batch divides evenly.
+func TestShardedNTTScalesLinearly(t *testing.T) {
+	p := SetD()
+	single, err := New(tpusim.NewDevice(tpusim.TPUv6e()), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := single.Snapshot(func() float64 { return single.CostNTTMat(64) })
+	s := mustSharded(t, tpusim.TPUv6e(), 8, p)
+	got := s.Snapshot(func() float64 { return s.CostNTTMat(64) })
+	want := single.Snapshot(func() float64 { return single.CostNTTMat(8) })
+	if got != want {
+		t.Errorf("sharded NTT(64) on 8 cores = %g, want per-core NTT(8) = %g", got, want)
+	}
+	if base/got < 2 {
+		t.Errorf("NTT batch speedup %g too low", base/got)
+	}
+}
+
+// Collective time must appear in the pod trace (and only there), and
+// the core trace must shrink as work shards.
+func TestShardedTraceAccounting(t *testing.T) {
+	p := SetD()
+	s := mustSharded(t, tpusim.TPUv6e(), 4, p)
+	s.Pod.Reset()
+	s.CostKeySwitch()
+	ici := s.CollectiveSeconds()
+	if ici <= 0 {
+		t.Fatal("key switch on 4 cores produced no collective time")
+	}
+	if s.Pod.Cores[0].Trace.Seconds(tpusim.CatICI) != 0 {
+		t.Error("collective time leaked into a core trace")
+	}
+	total := s.Pod.TotalSeconds()
+	if total <= ici {
+		t.Error("pod total should include core compute on top of collectives")
+	}
+	// Snapshot must not pollute either trace.
+	before := s.Pod.Trace.Total()
+	s.Snapshot(s.CostHEMult)
+	if s.Pod.Trace.Total() != before {
+		t.Error("Snapshot polluted the pod trace")
+	}
+}
+
+// Collective overhead must keep the model honest: with an absurdly slow
+// ICI, sharding should stop paying off (no free lunch in the model).
+func TestShardedRespectsICICost(t *testing.T) {
+	p := SetC()
+	spec := tpusim.TPUv6e()
+	spec.ICIBandwidth = 1e6 // 1 MB/s
+	spec.ICILatency = 1e-2  // 10 ms per hop
+	single, err := New(tpusim.NewDevice(tpusim.TPUv6e()), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := single.Snapshot(single.CostHEMult)
+	s := mustSharded(t, spec, 8, p)
+	got := s.Snapshot(s.CostHEMult)
+	if got <= base {
+		t.Error("crippled ICI should make sharding slower than single-core")
+	}
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Error("degenerate sharded time")
+	}
+}

@@ -136,6 +136,7 @@ func AllReports() []Report {
 		Fig14(),
 		Workloads(),
 		ParamSweep(),
+		CoreScaling(),
 	}
 }
 

@@ -154,18 +154,20 @@ func (r *Ring) INTTLimb(i int, a []uint64) {
 	}
 }
 
-// NTT forward-transforms every limb of p in place.
+// NTT forward-transforms every limb of p in place, fanning limbs over
+// the ring's worker pool when WithParallelism configured one.
 func (r *Ring) NTT(p *Poly) {
-	for i := 0; i <= p.Level(); i++ {
+	parallelFor(r.Parallelism(), p.Level()+1, func(i int) {
 		r.NTTLimb(i, p.Coeffs[i])
-	}
+	})
 }
 
-// INTT inverse-transforms every limb of p in place.
+// INTT inverse-transforms every limb of p in place (limb-parallel like
+// NTT).
 func (r *Ring) INTT(p *Poly) {
-	for i := 0; i <= p.Level(); i++ {
+	parallelFor(r.Parallelism(), p.Level()+1, func(i int) {
 		r.INTTLimb(i, p.Coeffs[i])
-	}
+	})
 }
 
 // NTTNaiveLimb is the O(N²) reference forward transform in natural

@@ -258,18 +258,19 @@ func (p *MatNTTPlan) InverseLimb(i int, in, out []uint64) {
 	matMulConstLeft(lm.m, lm.t1Inv, lm.t1InvS, c, c, tmp, r, out)
 }
 
-// Forward transforms every limb of p into the plan's layout.
+// Forward transforms every limb of p into the plan's layout,
+// limb-parallel when the plan's ring has WithParallelism configured.
 func (p *MatNTTPlan) Forward(poly *Poly) {
-	for i := 0; i <= poly.Level(); i++ {
+	parallelFor(p.ring.Parallelism(), poly.Level()+1, func(i int) {
 		p.ForwardLimb(i, poly.Coeffs[i], poly.Coeffs[i])
-	}
+	})
 }
 
-// Inverse inverts every limb of p.
+// Inverse inverts every limb of p (limb-parallel like Forward).
 func (p *MatNTTPlan) Inverse(poly *Poly) {
-	for i := 0; i <= poly.Level(); i++ {
+	parallelFor(p.ring.Parallelism(), poly.Level()+1, func(i int) {
 		p.InverseLimb(i, poly.Coeffs[i], poly.Coeffs[i])
-	}
+	})
 }
 
 // Forward4Step is the SoTA GPU baseline (Fig. 10 row 1): the same

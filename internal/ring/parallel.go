@@ -1,0 +1,72 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Host-side parallelism (the CPU analogue of the pod's limb sharding).
+// RNS limbs are fully independent through the NTT, so the transforms
+// fan limbs out over a goroutine worker pool. Parallel execution is
+// bit-exact by construction: each limb runs the unchanged serial
+// kernel, only the assignment of limbs to workers varies — there is no
+// floating point and no cross-limb state, so results are independent
+// of scheduling.
+
+// WithParallelism returns a view of the ring whose whole-polynomial
+// transforms (NTT, INTT, and MatNTTPlan.Forward/Inverse on plans built
+// from the view) distribute limbs across up to `workers` goroutines.
+// workers ≤ 1 selects the serial path; the view shares all twiddle
+// tables with the receiver.
+func (r *Ring) WithParallelism(workers int) *Ring {
+	cp := *r
+	if workers < 1 {
+		workers = 1
+	}
+	cp.parallelism = workers
+	return &cp
+}
+
+// Parallelism reports the ring's configured worker count (≥ 1).
+func (r *Ring) Parallelism() int {
+	if r.parallelism < 1 {
+		return 1
+	}
+	return r.parallelism
+}
+
+// DefaultParallelism is the worker count WithParallelism callers
+// typically want: one worker per CPU.
+func DefaultParallelism() int { return runtime.NumCPU() }
+
+// parallelFor runs f(0..n-1), fanning out over up to `workers`
+// goroutines. Iterations must be independent; work is claimed from an
+// atomic counter so uneven iteration costs balance.
+func parallelFor(workers, n int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

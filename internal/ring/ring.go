@@ -27,6 +27,9 @@ type Ring struct {
 	LogN   uint
 	Moduli []*modarith.Modulus
 	tables []*nttTable
+	// parallelism is the worker count for whole-polynomial transforms
+	// (0/1 = serial); set via WithParallelism, never mutated in place.
+	parallelism int
 }
 
 // NewRing constructs the ring of degree n (a power of two ≥ 8) over the
@@ -88,10 +91,11 @@ func (r *Ring) AtLevel(level int) (*Ring, error) {
 		return nil, fmt.Errorf("ring: level %d out of range [0, %d]", level, len(r.Moduli)-1)
 	}
 	return &Ring{
-		N:      r.N,
-		LogN:   r.LogN,
-		Moduli: r.Moduli[:level+1],
-		tables: r.tables[:level+1],
+		N:           r.N,
+		LogN:        r.LogN,
+		Moduli:      r.Moduli[:level+1],
+		tables:      r.tables[:level+1],
+		parallelism: r.parallelism,
 	}, nil
 }
 

@@ -1,0 +1,158 @@
+package tpusim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pod models a multi-core TPU slice: N identical tensor cores joined by
+// the inter-chip interconnect (ICI). Where VM reproduces the paper's
+// embarrassingly-parallel methodology (independent instances per core,
+// §V-A), Pod models cooperative execution of ONE kernel sharded across
+// cores — the multi-chip scenario the paper leaves as future work and
+// the ROADMAP's scaling axis.
+//
+// Collective times follow the standard ring-algorithm cost model
+// (bandwidth-optimal on the TPU's torus, which embeds a ring): a
+// payload of B bytes over n cores costs
+//
+//	AllReduce:     2(n−1) steps of B/n bytes  (reduce-scatter + all-gather)
+//	AllGather:      (n−1) steps of B/n bytes
+//	ReduceScatter:  (n−1) steps of B/n bytes
+//	Broadcast:    ⌈log₂n⌉ steps of B bytes    (binomial tree)
+//
+// with every step additionally paying the per-hop ICILatency. The model
+// is deliberately contention-free: CROSS's collectives are all
+// nearest-neighbour ring phases, which the torus routes without link
+// sharing.
+type Pod struct {
+	Spec  Spec
+	Cores []*Device
+	// Trace accumulates collective (ICI) time, which belongs to the pod
+	// rather than to any single core.
+	Trace *Trace
+}
+
+// NewPod builds an n-core pod of one generation. Every core gets its
+// own empty trace; per-kernel latency on a symmetric (SPMD) schedule is
+// the time of core 0 plus the pod's collective time.
+func NewPod(spec Spec, cores int) (*Pod, error) {
+	if cores < 1 {
+		return nil, fmt.Errorf("tpusim: pod needs at least one core, got %d", cores)
+	}
+	p := &Pod{Spec: spec, Cores: make([]*Device, cores), Trace: NewTrace()}
+	for i := range p.Cores {
+		p.Cores[i] = NewDevice(spec)
+	}
+	return p, nil
+}
+
+// MustPod is NewPod that panics on error.
+func MustPod(spec Spec, cores int) *Pod {
+	p, err := NewPod(spec, cores)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NumCores returns the core count.
+func (p *Pod) NumCores() int { return len(p.Cores) }
+
+// Name renders the slice naming ("TPUv6e-4").
+func (p *Pod) Name() string { return fmt.Sprintf("%s-%d", p.Spec.Name, len(p.Cores)) }
+
+// Reset clears every core trace and the pod's collective trace.
+func (p *Pod) Reset() {
+	for _, d := range p.Cores {
+		d.Trace.Reset()
+	}
+	p.Trace.Reset()
+}
+
+// step is the time of one ring phase moving `bytes` over one hop.
+func (p *Pod) step(bytes float64) float64 {
+	return bytes/p.Spec.ICIBandwidth + p.Spec.ICILatency
+}
+
+// AllReduceTime models a ring all-reduce of a `bytes` payload: every
+// core ends with the element-wise reduction of all cores' buffers.
+func (p *Pod) AllReduceTime(bytes int64) float64 {
+	n := len(p.Cores)
+	if n == 1 {
+		return 0
+	}
+	return 2 * float64(n-1) * p.step(float64(bytes)/float64(n))
+}
+
+// AllGatherTime models a ring all-gather: the `bytes` payload is the
+// FULL gathered buffer, of which each core contributes bytes/n.
+func (p *Pod) AllGatherTime(bytes int64) float64 {
+	n := len(p.Cores)
+	if n == 1 {
+		return 0
+	}
+	return float64(n-1) * p.step(float64(bytes)/float64(n))
+}
+
+// ReduceScatterTime models a ring reduce-scatter of a `bytes` payload:
+// each core ends with its bytes/n shard of the reduction.
+func (p *Pod) ReduceScatterTime(bytes int64) float64 {
+	n := len(p.Cores)
+	if n == 1 {
+		return 0
+	}
+	return float64(n-1) * p.step(float64(bytes)/float64(n))
+}
+
+// BroadcastTime models a binomial-tree broadcast of `bytes` from one
+// core to all others.
+func (p *Pod) BroadcastTime(bytes int64) float64 {
+	n := len(p.Cores)
+	if n == 1 {
+		return 0
+	}
+	steps := math.Ceil(math.Log2(float64(n)))
+	return steps * p.step(float64(bytes))
+}
+
+// AllReduce charges a ring all-reduce to the pod trace.
+func (p *Pod) AllReduce(bytes int64) float64 {
+	t := p.AllReduceTime(bytes)
+	p.Trace.Add(CatICI, t)
+	return t
+}
+
+// AllGather charges a ring all-gather to the pod trace.
+func (p *Pod) AllGather(bytes int64) float64 {
+	t := p.AllGatherTime(bytes)
+	p.Trace.Add(CatICI, t)
+	return t
+}
+
+// ReduceScatter charges a ring reduce-scatter to the pod trace.
+func (p *Pod) ReduceScatter(bytes int64) float64 {
+	t := p.ReduceScatterTime(bytes)
+	p.Trace.Add(CatICI, t)
+	return t
+}
+
+// Broadcast charges a tree broadcast to the pod trace.
+func (p *Pod) Broadcast(bytes int64) float64 {
+	t := p.BroadcastTime(bytes)
+	p.Trace.Add(CatICI, t)
+	return t
+}
+
+// TotalSeconds returns the pod-level latency of the schedule executed
+// so far: the busiest core's trace plus all collective time (the SPMD
+// critical path — cores synchronise at every collective).
+func (p *Pod) TotalSeconds() float64 {
+	var busiest float64
+	for _, d := range p.Cores {
+		if t := d.Trace.Total(); t > busiest {
+			busiest = t
+		}
+	}
+	return busiest + p.Trace.Total()
+}

@@ -1,0 +1,111 @@
+package tpusim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewPodValidation(t *testing.T) {
+	if _, err := NewPod(TPUv6e(), 0); err == nil {
+		t.Error("expected error for zero cores")
+	}
+	p, err := NewPod(TPUv6e(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCores() != 4 || len(p.Cores) != 4 {
+		t.Errorf("core count = %d", p.NumCores())
+	}
+	if p.Name() != "TPUv6e-4" {
+		t.Errorf("name = %q", p.Name())
+	}
+	for _, d := range p.Cores {
+		if d.Spec.Name != "TPUv6e" {
+			t.Error("core spec mismatch")
+		}
+	}
+}
+
+func TestSingleCoreCollectivesAreFree(t *testing.T) {
+	p := MustPod(TPUv5p(), 1)
+	for name, f := range map[string]func(int64) float64{
+		"allreduce":     p.AllReduceTime,
+		"allgather":     p.AllGatherTime,
+		"reducescatter": p.ReduceScatterTime,
+		"broadcast":     p.BroadcastTime,
+	} {
+		if got := f(1 << 20); got != 0 {
+			t.Errorf("%s on 1 core = %g, want 0", name, got)
+		}
+	}
+}
+
+func TestCollectiveCostModel(t *testing.T) {
+	p := MustPod(TPUv6e(), 4)
+	bytes := int64(4 << 20)
+	chunk := float64(bytes) / 4
+
+	wantAR := 2 * 3 * (chunk/p.Spec.ICIBandwidth + p.Spec.ICILatency)
+	if got := p.AllReduceTime(bytes); math.Abs(got-wantAR) > 1e-12 {
+		t.Errorf("allreduce = %g want %g", got, wantAR)
+	}
+	wantAG := 3 * (chunk/p.Spec.ICIBandwidth + p.Spec.ICILatency)
+	if got := p.AllGatherTime(bytes); math.Abs(got-wantAG) > 1e-12 {
+		t.Errorf("allgather = %g want %g", got, wantAG)
+	}
+	if got, want := p.AllReduceTime(bytes), 2*p.ReduceScatterTime(bytes); math.Abs(got-want) > 1e-12 {
+		t.Error("allreduce should equal reduce-scatter + all-gather")
+	}
+	wantBC := 2 * (float64(bytes)/p.Spec.ICIBandwidth + p.Spec.ICILatency)
+	if got := p.BroadcastTime(bytes); math.Abs(got-wantBC) > 1e-12 {
+		t.Errorf("broadcast = %g want %g", got, wantBC)
+	}
+}
+
+// Collective time must grow with the core count for a fixed payload
+// (more hops), but sub-linearly for the bandwidth term (smaller
+// chunks): the scaling behaviour the sharded compiler relies on.
+func TestCollectiveScaling(t *testing.T) {
+	bytes := int64(8 << 20)
+	prev := 0.0
+	for _, n := range []int{2, 4, 8, 16} {
+		p := MustPod(TPUv4(), n)
+		ar := p.AllReduceTime(bytes)
+		if ar <= prev {
+			t.Errorf("allreduce not increasing at %d cores", n)
+		}
+		prev = ar
+	}
+	// Bandwidth term alone converges to 2·B/BW; with latency included,
+	// a 16-core all-reduce must stay under 4× the 2-core one.
+	p2, p16 := MustPod(TPUv4(), 2), MustPod(TPUv4(), 16)
+	if p16.AllReduceTime(bytes) > 4*p2.AllReduceTime(bytes) {
+		t.Error("allreduce bandwidth term scaling badly")
+	}
+}
+
+func TestPodTraceAndTotal(t *testing.T) {
+	p := MustPod(TPUv6e(), 2)
+	p.Cores[0].VecOp(CatVecModOps, 1<<16, 10)
+	p.Cores[1].VecOp(CatVecModOps, 1<<14, 10)
+	col := p.AllReduce(1 << 20)
+	if p.Trace.Seconds(CatICI) != col {
+		t.Error("collective not charged to pod trace")
+	}
+	want := p.Cores[0].Trace.Total() + col
+	if math.Abs(p.TotalSeconds()-want) > 1e-15 {
+		t.Errorf("TotalSeconds = %g want busiest core + collectives = %g", p.TotalSeconds(), want)
+	}
+	p.Reset()
+	if p.TotalSeconds() != 0 {
+		t.Error("reset did not clear traces")
+	}
+}
+
+func TestAllSpecsHaveICI(t *testing.T) {
+	for _, s := range AllSpecs() {
+		if s.ICIBandwidth <= 0 || s.ICILatency <= 0 {
+			t.Errorf("%s missing ICI model", s.Name)
+		}
+	}
+}

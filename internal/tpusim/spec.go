@@ -71,6 +71,15 @@ type Spec struct {
 	// core counts to a comparison platform's power envelope (§V-A
 	// metric methodology).
 	WattsPerCore float64
+
+	// Inter-chip interconnect (ICI), the fabric a Pod's cores
+	// communicate over. ICIBandwidth is the per-core injection
+	// bandwidth into the fabric (bytes/s, the per-chip aggregate link
+	// figure from the TPU platform documentation scaled to one tensor
+	// core); ICILatency is the fixed per-hop cost of one neighbour
+	// exchange (link traversal + collective-runtime launch).
+	ICIBandwidth float64
+	ICILatency   float64
 }
 
 const gib = 1024 * 1024 * 1024
@@ -96,6 +105,8 @@ func TPUv4() Spec {
 		VPUDerate:           3,
 		DispatchOverhead:    15e-6,
 		WattsPerCore:        96,
+		ICIBandwidth:        150 * gib, // ½ of the chip's 2400 Gbps (2 cores/chip)
+		ICILatency:          1e-6,
 	}
 }
 
@@ -119,6 +130,8 @@ func TPUv5e() Spec {
 		VPUDerate:           3,
 		DispatchOverhead:    8e-6,
 		WattsPerCore:        55,
+		ICIBandwidth:        200 * gib, // 1600 Gbps, one core per chip
+		ICILatency:          1e-6,
 	}
 }
 
@@ -142,6 +155,8 @@ func TPUv5p() Spec {
 		VPUDerate:           3,
 		DispatchOverhead:    6e-6,
 		WattsPerCore:        110,
+		ICIBandwidth:        300 * gib, // ½ of the chip's 4800 Gbps (2 cores/chip)
+		ICILatency:          1e-6,
 	}
 }
 
@@ -166,6 +181,8 @@ func TPUv6e() Spec {
 		VPUDerate:           3,
 		DispatchOverhead:    3e-6,
 		WattsPerCore:        90,
+		ICIBandwidth:        448 * gib, // 3584 Gbps, one core per chip
+		ICILatency:          1e-6,
 	}
 }
 

@@ -17,6 +17,7 @@ const (
 	CatTypeConv    = "Type Conversion"
 	CatCopyReshape = "Copy+Reshape"
 	CatHBM         = "HBM Traffic"
+	CatICI         = "ICI Collective"
 	CatOther       = "Other"
 )
 
