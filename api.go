@@ -11,18 +11,22 @@
 //   - HE layer: Context bundles a full functional RNS-CKKS instance
 //     (encode → encrypt → evaluate → decrypt), running bit-exactly on
 //     the CPU.
-//   - Compiler layer: Compiler lowers HE kernels onto a simulated TPU
-//     tensor core (Device) and reports per-kernel latency and
-//     per-category breakdowns, reproducing the paper's evaluation.
-//     Pod and ShardedCompiler extend the lowering to multi-core TPU
-//     slices joined by the inter-chip interconnect, sharding
-//     limb-parallel and slot-parallel kernel work across cores.
+//   - Compiler layer: Compile(target, params) returns a Compiler for
+//     any Target — a simulated tensor core (Device) or a multi-core
+//     slice (Pod); both satisfy the same interface and share one
+//     lowering code path. Kernel lowerings produce Schedule values:
+//     structured artifacts carrying total latency, the per-category
+//     breakdown, kernel-invocation counts, and shard/collective
+//     metadata. NewProgram composes multi-operator HE workloads
+//     (mult → rotate → bootstrap → …) into one costed, memoized
+//     schedule. The legacy Cost* float methods remain as thin
+//     deprecated wrappers over Schedule.Total.
 //   - Experiments layer: Experiment/AllExperiments regenerate every
 //     table and figure of the paper's §V with paper-vs-measured rows,
 //     plus the beyond-paper core-count scaling sweep.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction results.
+// See DESIGN.md (§ "Schedule IR & Targets") for the system inventory
+// and EXPERIMENTS.md for the reproduction results.
 package cross
 
 import (
@@ -84,7 +88,47 @@ var (
 func NewDevice(spec DeviceSpec) *Device { return tpusim.NewDevice(spec) }
 
 // NewCompiler builds a CROSS compiler for a device and parameter set.
+//
+// Deprecated: use Compile, which accepts any Target (devices and pods).
 func NewCompiler(dev *Device, p Params) (*Compiler, error) { return icross.New(dev, p) }
+
+// ---- Target / Schedule IR layer ----
+
+// Target is the hardware a Compiler lowers onto. Both *Device and
+// *Pod satisfy it; the compiler's single lowering code path shards
+// independent work across Target.NumCores() and charges collective
+// cost through the Target's interconnect methods. A Device is the
+// 1-core degenerate case, bit-identical to a 1-core Pod.
+type Target = icross.Target
+
+// Schedule is the compiler's lowering artifact: one operator (or a
+// whole Program) lowered onto a Target, with total latency, the
+// Fig. 12-style per-category breakdown, kernel-invocation counts, and
+// shard/collective metadata.
+type Schedule = icross.Schedule
+
+// KernelCounts tallies the kernel launches of one Schedule.
+type KernelCounts = icross.KernelCounts
+
+// Program composes multi-operator HE workloads into one costed,
+// memoized schedule: NewProgram(c).HEMult().Rotate(1).Batch(64).Lower().
+type Program = icross.Program
+
+// BootstrapSchedule is the operator budget of one packed bootstrapping.
+type BootstrapSchedule = icross.BootstrapSchedule
+
+// Compile builds a CROSS compiler for any lowering target — a tensor
+// core or a pod — and parameter set.
+func Compile(t Target, p Params) (*Compiler, error) { return icross.Compile(t, p) }
+
+// NewProgram starts an empty workload program on a compiler.
+func NewProgram(c *Compiler) *Program { return icross.NewProgram(c) }
+
+// DefaultBootstrapSchedule returns the MAD packed-bootstrapping
+// operator budget for a parameter set.
+func DefaultBootstrapSchedule(p Params) BootstrapSchedule {
+	return icross.DefaultBootstrapSchedule(p)
+}
 
 // ---- Pod / sharded-lowering layer ----
 
@@ -93,11 +137,11 @@ func NewCompiler(dev *Device, p Params) (*Compiler, error) { return icross.New(d
 // (AllReduceTime, BroadcastTime, …).
 type Pod = tpusim.Pod
 
-// ShardedCompiler lowers HE kernels across a Pod, splitting
-// limb-parallel and slot-parallel work over the cores and charging
-// collective/synchronization cost where the mathematics mixes limbs
-// or digits. Obtain one via NewShardedCompiler or
-// Compiler.LowerSharded.
+// ShardedCompiler is the legacy pod-lowering handle. The sharded
+// lowering now lives in Compiler itself (a Pod is just another
+// Target), so this is a thin compatibility wrapper.
+//
+// Deprecated: use Compile with a *Pod target.
 type ShardedCompiler = icross.ShardedCompiler
 
 // NewPod instantiates an n-core pod of one TPU generation.
@@ -105,6 +149,9 @@ func NewPod(spec DeviceSpec, cores int) (*Pod, error) { return tpusim.NewPod(spe
 
 // NewShardedCompiler builds the pod-scale CROSS lowering for a
 // parameter set.
+//
+// Deprecated: use Compile(pod, p) — one lowering API for cores and
+// pods.
 func NewShardedCompiler(pod *Pod, p Params) (*ShardedCompiler, error) {
 	return icross.NewSharded(pod, p)
 }
@@ -320,6 +367,14 @@ func EstimateMNIST(c *Compiler) (total, perImage float64) {
 
 // EstimateHELR estimates one §V-D logistic-regression iteration.
 func EstimateHELR(c *Compiler) float64 { return workload.EstimateHELR(c) }
+
+// MNISTProgram composes the §V-D CNN schedule into a Program (one
+// image; chain .Batch(64) for the paper's evaluation batch).
+func MNISTProgram(c *Compiler) *Program { return workload.MNISTProgram(c) }
+
+// HELRProgram composes one §V-D logistic-regression training iteration
+// into a Program.
+func HELRProgram(c *Compiler) *Program { return workload.HELRProgram(c) }
 
 // MNISTParams returns the paper's MNIST HE configuration.
 func MNISTParams() Params { return workload.MNISTParams() }

@@ -184,6 +184,72 @@ func TestExperimentFacade(t *testing.T) {
 	}
 }
 
+func TestExperimentByIDErrorPath(t *testing.T) {
+	for _, id := range []string{"", "Table Z", "fig99", "TABLE V EXTRA"} {
+		exp, err := ExperimentByID(id)
+		if err == nil {
+			t.Fatalf("ExperimentByID(%q): expected error", id)
+		}
+		if exp.ID != "" || exp.Body != "" {
+			t.Errorf("ExperimentByID(%q): non-zero report on error: %+v", id, exp)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "unknown experiment") {
+			t.Errorf("ExperimentByID(%q): error %q missing diagnosis", id, msg)
+		}
+		// The error must be actionable: it lists the valid identifiers.
+		if !strings.Contains(msg, "Table V") || !strings.Contains(msg, "Core Scaling") {
+			t.Errorf("ExperimentByID(%q): error %q does not list valid IDs", id, msg)
+		}
+	}
+}
+
+func TestTargetFacade(t *testing.T) {
+	// Both public target types satisfy the exported interface, and one
+	// Compile call covers both.
+	var targets []Target
+	targets = append(targets, NewDevice(TPUv6e()))
+	pod, err := NewPod(TPUv6e(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets = append(targets, pod)
+	for _, tgt := range targets {
+		c, err := Compile(tgt, SetB())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := c.LowerHEMult()
+		if s.Total <= 0 || s.Cores != tgt.NumCores() || s.Target != tgt.Name() {
+			t.Errorf("%s: degenerate schedule %+v", tgt.Name(), s)
+		}
+	}
+}
+
+func TestProgramFacade(t *testing.T) {
+	c, err := Compile(NewDevice(TPUv6e()), MNISTParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The MNIST estimator and its Program must agree exactly.
+	_, perImage := EstimateMNIST(c)
+	if got := MNISTProgram(c).Lower().Total; got != perImage {
+		t.Errorf("MNISTProgram total %g != EstimateMNIST per-image %g", got, perImage)
+	}
+	cD, err := Compile(NewDevice(TPUv6e()), SetD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := HELRProgram(cD).Lower().Total; got != EstimateHELR(cD) {
+		t.Error("HELRProgram total != EstimateHELR")
+	}
+	// Bootstrap composes into programs too.
+	s := NewProgram(cD).Bootstrap(DefaultBootstrapSchedule(SetD())).Lower()
+	if s.Total <= 0 || s.Kernels.NTTs == 0 {
+		t.Errorf("bootstrap program degenerate: %+v", s)
+	}
+}
+
 func TestWorkloadFacade(t *testing.T) {
 	c, err := NewCompiler(NewDevice(TPUv6e()), MNISTParams())
 	if err != nil {

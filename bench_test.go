@@ -442,6 +442,50 @@ func BenchmarkCoreScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkProgramLower times the Schedule IR's workload composition:
+// the full MNIST CNN as ONE memoized program (each distinct operator
+// lowered once for the whole network) against per-layer pricing, where
+// every layer re-lowers its own operators from scratch. Both compute
+// the same simulated total; the memoized program does ~1/9th the
+// lowering work, which is what makes it the serving-scale substrate.
+func BenchmarkProgramLower(b *testing.B) {
+	c := mustCompiler(b, tpusim.TPUv6e(), workload.MNISTParams())
+	b.Run("memoized_program", func(b *testing.B) {
+		var total float64
+		for i := 0; i < b.N; i++ {
+			total = workload.MNISTProgram(c).Batch(workload.MNISTBatch).Lower().Total
+		}
+		b.ReportMetric(total*1e3, "sim_batch_ms")
+	})
+	b.Run("per_layer_lowering", func(b *testing.B) {
+		var total float64
+		for i := 0; i < b.N; i++ {
+			total = 0
+			for _, layer := range workload.MNISTNetwork() {
+				total += workload.EstimateLatency(c, layer)
+			}
+			total *= workload.MNISTBatch
+		}
+		b.ReportMetric(total*1e3, "sim_batch_ms")
+	})
+}
+
+// BenchmarkPodSchedule times pod-target lowering through the unified
+// Compile path (the old ShardedCompiler code path, now just a Target).
+func BenchmarkPodSchedule(b *testing.B) {
+	pod := tpusim.MustPod(tpusim.TPUv6e(), 4)
+	c, err := icross.Compile(pod, icross.SetD())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s *icross.Schedule
+	for i := 0; i < b.N; i++ {
+		s = c.LowerHEMult()
+	}
+	b.ReportMetric(s.Total*1e6, "sim_mult_us")
+	b.ReportMetric(s.Collective*1e6, "sim_ici_us")
+}
+
 // BenchmarkParallelNTT times the host-side limb-parallel NTT worker
 // pool (real wall time — the `go test -bench` comparison of the
 // Parallelism option).

@@ -9,11 +9,18 @@
 //	crossbench -experiment id  # run one experiment ("Table V", "fig11b", …)
 //	crossbench -scaling        # pod core-count scaling sweep (1/2/4/8 cores)
 //	crossbench -scaling -device TPUv5p
+//	crossbench -json [...]     # machine-readable output (any mode)
+//
+// With -json the tool emits JSON instead of the formatted tables:
+// -list prints a string array of identifiers; every other mode prints
+// Report objects ({"ID","Title","Body","Notes"}) — the feed for
+// bench-trajectory tracking.
 //
 // Run with: go run ./cmd/crossbench [flags]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,11 +30,21 @@ import (
 	"cross/internal/tpusim"
 )
 
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, "crossbench:", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
 	experiment := flag.String("experiment", "", "run a single experiment by identifier")
 	scaling := flag.Bool("scaling", false, "run only the pod core-count scaling sweep")
 	device := flag.String("device", "TPUv6e", "TPU generation for -scaling (TPUv4, TPUv5e, TPUv5p, TPUv6e)")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of formatted tables")
 	flag.Parse()
 
 	deviceSet := false
@@ -51,12 +68,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "crossbench: unknown device %q\n", *device)
 			os.Exit(1)
 		}
-		fmt.Println(harness.CoreScalingOn(spec).String())
+		r := harness.CoreScalingOn(spec)
+		if *asJSON {
+			emitJSON(r)
+			return
+		}
+		fmt.Println(r.String())
 		return
 	}
 
 	if *list {
-		for _, id := range cross.ExperimentIDs() {
+		ids := cross.ExperimentIDs()
+		if *asJSON {
+			emitJSON(ids)
+			return
+		}
+		for _, id := range ids {
 			fmt.Println(id)
 		}
 		return
@@ -68,14 +95,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if *asJSON {
+			emitJSON(exp)
+			return
+		}
 		fmt.Println(exp.String())
 		return
 	}
 
+	all := cross.AllExperiments()
+	if *asJSON {
+		emitJSON(all)
+		return
+	}
 	fmt.Println("CROSS reproduction — regenerating the paper's evaluation (§V)")
 	fmt.Println("simulated TPU latencies are model estimates; compare shapes, not absolutes")
 	fmt.Println()
-	for _, exp := range cross.AllExperiments() {
+	for _, exp := range all {
 		fmt.Println(exp.String())
 	}
 }

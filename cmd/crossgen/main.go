@@ -98,4 +98,28 @@ func main() {
 	if tmp {
 		os.Remove(path)
 	}
+
+	// Server-side preview: lower the canonical request (mult + rotate)
+	// for these parameters onto a simulated TPUv6e core — the cost the
+	// trusted-client flow's server would pay per ciphertext.
+	printServerEstimate(*logN, *limbs, *dnum)
+}
+
+// printServerEstimate compiles a Program for the generated parameters
+// and prints its schedule summary (skipped for configurations outside
+// the simulator's envelope).
+func printServerEstimate(logN, limbs, dnum int) {
+	r := 128
+	for r >= 2 && (1<<logN)/r < 2 {
+		r >>= 1
+	}
+	p := cross.Params{LogN: logN, LogQ: 28, L: limbs, Dnum: dnum, R: r, C: (1 << logN) / r}
+	comp, err := cross.Compile(cross.NewDevice(cross.TPUv6e()), p)
+	if err != nil {
+		fmt.Printf("(no TPU estimate: %v)\n", err)
+		return
+	}
+	sched := cross.NewProgram(comp).HEMult().Rotate(1).Lower()
+	fmt.Printf("server-side estimate (%s): mult+rotate = %.1f µs, %d kernel launches\n",
+		sched.Target, sched.Total*1e6, sched.Kernels.Total())
 }

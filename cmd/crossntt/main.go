@@ -45,7 +45,7 @@ func main() {
 	}
 	p.R, p.C = r, (1<<*logN)/r
 
-	comp, err := cross.NewCompiler(cross.NewDevice(spec), p)
+	comp, err := cross.Compile(cross.NewDevice(spec), p)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -54,9 +54,9 @@ func main() {
 	fmt.Printf("NTT algorithm comparison on %s at N=2^%d (split %dx%d):\n\n", spec.Name, *logN, p.R, p.C)
 	fmt.Printf("%-8s%16s%16s%16s%14s\n", "batch", "radix-2 µs", "4-step µs", "MAT 3-step µs", "MAT kNTT/s")
 	for batch := 1; batch <= 128; batch <<= 1 {
-		radix2 := comp.Snapshot(func() float64 { return comp.CostNTTRadix2(batch) })
-		four := comp.Snapshot(func() float64 { return comp.CostNTT4Step(batch) })
-		mat := comp.Snapshot(func() float64 { return comp.CostNTTMat(batch) })
+		radix2 := comp.LowerOp("radix-2", func() float64 { return comp.CostNTTRadix2(batch) }).Total
+		four := comp.LowerOp("4-step", func() float64 { return comp.CostNTT4Step(batch) }).Total
+		mat := comp.LowerNTT(batch).Total
 		fmt.Printf("%-8d%16.1f%16.1f%16.1f%14.0f\n",
 			batch, radix2*1e6, four*1e6, mat*1e6, float64(batch)/mat/1e3)
 	}

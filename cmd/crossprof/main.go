@@ -1,11 +1,15 @@
 // Command crossprof prints Fig. 12-style latency breakdowns for any HE
-// operator on any simulated TPU generation and parameter set — the
-// reproduction's stand-in for the XLA profiler trace viewer.
+// operator on any simulated TPU target and parameter set — the
+// reproduction's stand-in for the XLA profiler trace viewer. The tool
+// is a thin shell over the Schedule IR: it compiles for a Target (one
+// tensor core, or a -cores N pod), lowers one operator, and renders
+// the returned Schedule.
 //
 // Usage:
 //
 //	crossprof -device TPUv6e -set D -op mult
 //	crossprof -device TPUv4  -set B -op rotate
+//	crossprof -device TPUv6e -set D -op mult -cores 4   # pod lowering
 //	crossprof -op bootstrap
 //
 // Run with: go run ./cmd/crossprof [flags]
@@ -26,6 +30,7 @@ func main() {
 	set := flag.String("set", "D", "parameter set (A, B, C, D)")
 	op := flag.String("op", "mult", "operator: add, mult, rescale, rotate, keyswitch, bootstrap, ntt, intt")
 	batch := flag.Int("batch", 1, "batch size for ntt/intt")
+	cores := flag.Int("cores", 1, "core count: 1 profiles a single tensor core, >1 a pod")
 	flag.Parse()
 
 	spec, ok := tpusim.SpecByName(*device)
@@ -33,44 +38,62 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown device %q\n", *device)
 		os.Exit(1)
 	}
+	if *cores < 1 {
+		fmt.Fprintf(os.Stderr, "invalid core count %d (need ≥ 1)\n", *cores)
+		os.Exit(1)
+	}
 	params, err := icross.NamedSet(*set)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	dev := cross.NewDevice(spec)
-	comp, err := cross.NewCompiler(dev, params)
+
+	// Devices and pods are both Targets; one Compile call covers both.
+	var target cross.Target = cross.NewDevice(spec)
+	if *cores > 1 {
+		pod, err := cross.NewPod(spec, *cores)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		target = pod
+	}
+	comp, err := cross.Compile(target, params)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	var total float64
+	var sched *cross.Schedule
 	switch *op {
 	case "add":
-		total = comp.CostHEAdd()
+		sched = comp.LowerHEAdd()
 	case "mult":
-		total = comp.CostHEMult()
+		sched = comp.LowerHEMult()
 	case "rescale":
-		total = comp.CostRescale()
+		sched = comp.LowerRescale()
 	case "rotate":
-		total = comp.CostRotate()
+		sched = comp.LowerRotate()
 	case "keyswitch":
-		total = comp.CostKeySwitch()
+		sched = comp.LowerKeySwitch()
 	case "bootstrap":
-		total = comp.CostBootstrap(icross.DefaultBootstrapSchedule(params))
+		sched = comp.LowerBootstrap(icross.DefaultBootstrapSchedule(params))
 	case "ntt":
-		total = comp.CostNTTMat(*batch)
+		sched = comp.LowerNTT(*batch)
 	case "intt":
-		total = comp.CostINTTMat(*batch)
+		sched = comp.LowerINTT(*batch)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown operator %q\n", *op)
 		os.Exit(1)
 	}
 
 	fmt.Printf("%s on %s, Set %s (N=2^%d, L=%d, dnum=%d, split %dx%d)\n",
-		*op, spec.Name, *set, params.LogN, params.L, params.Dnum, params.R, params.C)
-	fmt.Printf("simulated latency: %.2f µs (one tensor core)\n\n", total*1e6)
+		sched.Op, sched.Target, *set, params.LogN, params.L, params.Dnum, params.R, params.C)
+	fmt.Printf("simulated latency: %.2f µs", sched.Total*1e6)
+	if sched.Cores > 1 {
+		fmt.Printf(" (%d cores, %.2f µs collective)", sched.Cores, sched.Collective*1e6)
+	}
+	fmt.Printf("\nkernel launches: %s\n\n", sched.Kernels)
 	fmt.Println("category breakdown:")
-	fmt.Println(dev.Trace.Breakdown())
+	fmt.Println(sched.Breakdown())
 }

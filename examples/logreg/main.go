@@ -188,12 +188,13 @@ func main() {
 	}
 	fmt.Println("functional verification PASSED")
 
-	// Paper-scale estimate.
-	comp, err := cross.NewCompiler(cross.NewDevice(cross.TPUv6e()), cross.SetD())
+	// Paper-scale estimate: one training iteration as a Program.
+	comp, err := cross.Compile(cross.NewDevice(cross.TPUv6e()), cross.SetD())
 	if err != nil {
 		log.Fatal(err)
 	}
-	iter := cross.EstimateHELR(comp)
+	sched := cross.HELRProgram(comp).Lower()
 	fmt.Printf("\nHELR schedule (196 features, batch 1024) on simulated TPUv6e core:\n")
-	fmt.Printf("  per-iteration latency: %.0f ms   (paper: 84 ms)\n", iter*1e3)
+	fmt.Printf("  per-iteration latency: %.0f ms   (paper: 84 ms)\n", sched.Total*1e3)
+	fmt.Printf("  kernel launches:       %s\n", sched.Kernels)
 }

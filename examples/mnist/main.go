@@ -137,14 +137,17 @@ func main() {
 	}
 	fmt.Println("functional verification PASSED")
 
-	// Paper-scale estimate (§V-D: 270 ms/image on v6e-8).
-	comp, err := cross.NewCompiler(cross.NewDevice(cross.TPUv6e()), cross.MNISTParams())
+	// Paper-scale estimate (§V-D: 270 ms/image on v6e-8): the whole CNN
+	// as one Program, lowered into a costed Schedule.
+	comp, err := cross.Compile(cross.NewDevice(cross.TPUv6e()), cross.MNISTParams())
 	if err != nil {
 		log.Fatal(err)
 	}
-	total, perImage := cross.EstimateMNIST(comp)
+	prog := cross.MNISTProgram(comp)
+	perImage := prog.Lower().Total
+	batch := prog.Batch(64).Lower()
 	fmt.Printf("\npaper-scale CNN (N=2^13, L=18, dnum=3) on simulated TPUv6e:\n")
 	fmt.Printf("  per-image latency:  %.0f ms   (paper: 270 ms amortised)\n", perImage*1e3)
-	fmt.Printf("  batch-64 total:     %.1f s\n", total)
+	fmt.Printf("  batch-64 total:     %.1f s  (%d HE operators)\n", batch.Total, prog.OpCount())
 	fmt.Printf("  Orion baseline:     2700 ms/image — CROSS wins %.1f×\n", 2700/(perImage*1e3))
 }

@@ -3,9 +3,10 @@
 //
 //  1. the functional HE layer — encrypt two vectors, add, multiply,
 //     rotate, and decrypt, verifying against plaintext arithmetic;
-//  2. the compiler layer — lower the same operators onto a simulated
-//     TPUv6e tensor core and print the paper-style latency breakdown
-//     (Fig. 12).
+//  2. the compiler layer — Compile the same operators for a simulated
+//     TPUv6e target, compose them into a Program, and print the
+//     resulting Schedule with its paper-style latency breakdown
+//     (Fig. 12). The same Compile call accepts a multi-core Pod.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -75,21 +76,41 @@ func main() {
 	report("x * y", prod, func(i int) complex128 { return x[i] * y[i] })
 	report("rot(x,1)", rot, func(i int) complex128 { return x[(i+1)%len(x)] })
 
-	// --- Compiler layer ---
-	dev := cross.NewDevice(cross.TPUv6e())
-	comp, err := cross.NewCompiler(dev, cross.SetD())
+	// --- Compiler layer: Compile a target, lower Schedules ---
+	comp, err := cross.Compile(cross.NewDevice(cross.TPUv6e()), cross.SetD())
 	if err != nil {
 		log.Fatal(err)
 	}
-	ops := comp.MeasureHEOps()
 	fmt.Println("\nsimulated TPUv6e (1 tensor core, Set D: N=2^16, L=51):")
-	fmt.Printf("  HE-Add   %10.1f µs\n", ops.Add*1e6)
-	fmt.Printf("  HE-Mult  %10.1f µs\n", ops.Mult*1e6)
-	fmt.Printf("  Rescale  %10.1f µs\n", ops.Rescale*1e6)
-	fmt.Printf("  Rotate   %10.1f µs\n", ops.Rotate*1e6)
+	for _, sched := range []*cross.Schedule{
+		comp.LowerHEAdd(), comp.LowerHEMult(), comp.LowerRescale(), comp.LowerRotate(),
+	} {
+		fmt.Printf("  %-8s %10.1f µs  (%d kernel launches)\n",
+			sched.Op, sched.Total*1e6, sched.Kernels.Total())
+	}
 
-	dev.Trace.Reset()
-	comp.CostHEMult()
+	mult := comp.LowerHEMult()
 	fmt.Println("\nHE-Mult latency breakdown (Fig. 12 style):")
-	fmt.Println(dev.Trace.Breakdown())
+	fmt.Println(mult.Breakdown())
+
+	// --- Program builder: the workload face of the same API ---
+	// The encrypted pipeline above (add, mult, rotate) as one costed
+	// schedule, replicated over a 64-request batch.
+	prog := cross.NewProgram(comp).HEAdd().HEMult().Rotate(1).Batch(64)
+	sched := prog.Lower()
+	fmt.Printf("%s:\n  total %.2f ms for %d ops\n", sched.Op, sched.Total*1e3, prog.OpCount())
+
+	// The identical program lowered onto a 4-core pod: one code path,
+	// collective cost appears as first-class metadata.
+	pod, err := cross.NewPod(cross.TPUv6e(), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pcomp, err := cross.Compile(pod, cross.SetD())
+	if err != nil {
+		log.Fatal(err)
+	}
+	psched := cross.NewProgram(pcomp).HEAdd().HEMult().Rotate(1).Batch(64).Lower()
+	fmt.Printf("  on %s: %.2f ms (%.2f ms collective), %.2f× speedup\n",
+		psched.Target, psched.Total*1e3, psched.Collective*1e3, sched.Total/psched.Total)
 }

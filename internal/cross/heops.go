@@ -1,5 +1,7 @@
 package cross
 
+import "cross/internal/tpusim"
+
 // HE operator lowering (§III-A's Scheduling layer). Each CKKS operator
 // is a fixed schedule of HE kernels; CROSS lowers every kernel with
 // BAT+MAT and the simulator accumulates per-category time, regenerating
@@ -8,6 +10,30 @@ package cross
 // The schedules implement full-RNS CKKS with hybrid key switching
 // (Han–Ki, [37]): L ciphertext limbs split into dnum digits of
 // α = ⌈L/dnum⌉ limbs each, with α auxiliary (special) primes P.
+//
+// Every operator is lowered once, against the Target interface. The
+// two parallelism axes HE kernels expose shard across the target's
+// cores:
+//
+//   - limb parallelism: RNS limbs are independent through NTT/INTT and
+//     all element-wise arithmetic, so batches of limb transforms split
+//     across cores with no communication;
+//   - slot parallelism: element-wise VecMod* kernels split their
+//     element range across cores with no communication.
+//
+// Communication appears exactly where the mathematics mixes limbs or
+// digits:
+//
+//   - BConv step 2 multiplies ALL source limbs into every destination
+//     limb, so the coefficient-domain source must be all-gathered
+//     before each core computes its destination-limb shard;
+//   - the key-switch inner product accumulates across digits that live
+//     on different cores, costing one all-reduce of the two
+//     accumulator polynomials over the extended basis.
+//
+// On a single-core target every shard is the whole batch and every
+// collective is free, so the lowering is bit-identical to the paper's
+// single-core model.
 
 // KeySwitchCounts tallies the kernel invocations of one hybrid key
 // switch at level L — exposed so tests can check the schedule against
@@ -51,6 +77,13 @@ func (c *Compiler) keySwitchCounts() KeySwitchCounts {
 }
 
 // CostKeySwitch charges one hybrid key switch and returns its time.
+// The dnum ModUp digits are independent and round-robin across cores
+// (a digit's INTT → BConv → NTT chain is core-local); the cross-digit
+// inner-product accumulation costs one all-reduce of both accumulator
+// polynomials over the extended basis; ModDown proceeds limb-parallel
+// with a gathered BConv per result polynomial.
+//
+// Deprecated: prefer LowerKeySwitch.
 func (c *Compiler) CostKeySwitch() float64 {
 	n := c.P.N()
 	alpha := c.P.Alpha()
@@ -59,19 +92,23 @@ func (c *Compiler) CostKeySwitch() float64 {
 	ext := l + alpha
 
 	var t float64
-	// Digit loop: INTT(α) → BConv(α → ext−α) → NTT(ext−α).
-	for d := 0; d < dnum; d++ {
-		t += c.CostINTTMat(alpha)
-		t += c.CostBConv(n, alpha, ext-alpha, true)
-		t += c.CostNTTMat(ext - alpha)
+	// ModUp: each core runs its ⌈dnum/n⌉ digits serially.
+	dShard := c.shard(dnum)
+	for d := 0; d < dShard; d++ {
+		t += c.costNTTMatAlg(alpha, c.P.Red, tpusim.CatINTTMatMul)
+		t += c.costBConvLocal(n, alpha, ext-alpha, true)
+		t += c.costNTTMatAlg(ext-alpha, c.P.Red, tpusim.CatNTTMatMul)
 	}
-	// evk inner product.
-	t += c.CostVecModMul(dnum * 2 * ext * n)
-	t += c.CostVecModAdd((dnum - 1) * 2 * ext * n)
-	// ModDown ×2 polys.
+	// evk inner product over the local digits, then all-reduce the two
+	// accumulator polynomials (ext limbs × N coefficients × 4 bytes).
+	t += c.costVecModMulAlg(dShard*2*ext*n, c.P.Red)
+	t += c.costVecModAddLocal((dShard - 1) * 2 * ext * n)
+	t += c.allReduce(int64(2 * ext * n * 4))
+	// ModDown ×2 result polynomials, limb-parallel.
 	for p := 0; p < 2; p++ {
 		t += c.CostINTTMat(alpha)
-		t += c.CostBConv(n, alpha, l, true)
+		t += c.allGather(int64(4 * n * alpha))
+		t += c.costBConvGathered(n, alpha, l, true)
 		t += c.CostNTTMat(l)
 		t += c.CostVecModAdd(l * n) // subtract
 		t += c.CostVecModMul(l * n) // × P⁻¹ mod q_i
@@ -79,13 +116,19 @@ func (c *Compiler) CostKeySwitch() float64 {
 	return t
 }
 
-// CostHEAdd charges a ciphertext addition (2 polys × L limbs).
+// CostHEAdd charges a ciphertext addition (2 polys × L limbs,
+// slot-parallel).
+//
+// Deprecated: prefer LowerHEAdd.
 func (c *Compiler) CostHEAdd() float64 {
 	return c.CostVecModAdd(2 * c.P.L * c.P.N())
 }
 
-// CostHEMult charges a full ciphertext multiplication: tensor product,
-// relinearisation (key switch), and rescale (§III-A HE Multiplication).
+// CostHEMult charges a full ciphertext multiplication: tensor product
+// (slot-parallel), relinearisation (key switch), and rescale
+// (limb-parallel) — §III-A HE Multiplication.
+//
+// Deprecated: prefer LowerHEMult.
 func (c *Compiler) CostHEMult() float64 {
 	n := c.P.N()
 	l := c.P.L
@@ -101,14 +144,19 @@ func (c *Compiler) CostHEMult() float64 {
 }
 
 // CostRescale charges one rescaling: drop the top limb of both polys —
-// INTT(top limb), BConv(1 → L−1), NTT(L−1), then subtract and scale.
+// the dropped limb is inverse-transformed on one core and replicated
+// (it is the BConv source for every output limb), then the L−1 output
+// limbs proceed limb-parallel.
+//
+// Deprecated: prefer LowerRescale.
 func (c *Compiler) CostRescale() float64 {
 	n := c.P.N()
 	l := c.P.L
 	var t float64
 	for p := 0; p < 2; p++ {
-		t += c.CostINTTMat(1)
-		t += c.CostBConv(n, 1, l-1, true)
+		t += c.costNTTMatAlg(1, c.P.Red, tpusim.CatINTTMatMul)
+		t += c.broadcast(int64(4 * n))
+		t += c.costBConvGathered(n, 1, l-1, true)
 		t += c.CostNTTMat(l - 1)
 		t += c.CostVecModAdd((l - 1) * n)
 		t += c.CostVecModMul((l - 1) * n) // × q_L⁻¹ mod q_i
@@ -116,9 +164,11 @@ func (c *Compiler) CostRescale() float64 {
 	return t
 }
 
-// CostRotate charges a slot rotation: the automorphism permutation on
-// both polynomials (the gather MAT cannot embed, §V-E) plus a key
-// switch with the rotation key.
+// CostRotate charges a slot rotation: the limb-sharded automorphism
+// permutation on both polynomials (the gather MAT cannot embed, §V-E)
+// plus a key switch with the rotation key.
+//
+// Deprecated: prefer LowerRotate.
 func (c *Compiler) CostRotate() float64 {
 	t := c.CostAutomorphism(2 * c.P.L)
 	t += c.CostKeySwitch()
@@ -127,15 +177,21 @@ func (c *Compiler) CostRotate() float64 {
 
 // CostConjugate is a rotation by the conjugation Galois element — the
 // same lowering as CostRotate.
+//
+// Deprecated: prefer LowerConjugate.
 func (c *Compiler) CostConjugate() float64 { return c.CostRotate() }
 
 // CostPtMul charges a plaintext-ciphertext multiplication (2 polys ×
 // L limbs VecModMul, no key switch).
+//
+// Deprecated: prefer LowerPtMul.
 func (c *Compiler) CostPtMul() float64 {
 	return c.CostVecModMul(2 * c.P.L * c.P.N())
 }
 
 // CostPtAdd charges a plaintext-ciphertext addition.
+//
+// Deprecated: prefer LowerPtAdd.
 func (c *Compiler) CostPtAdd() float64 {
 	return c.CostVecModAdd(c.P.L * c.P.N())
 }
@@ -148,10 +204,10 @@ type HEOpLatencies struct {
 // MeasureHEOps costs all four operators trace-isolated.
 func (c *Compiler) MeasureHEOps() HEOpLatencies {
 	return HEOpLatencies{
-		Add:     c.snapshot(c.CostHEAdd),
-		Mult:    c.snapshot(c.CostHEMult),
-		Rescale: c.snapshot(c.CostRescale),
-		Rotate:  c.snapshot(c.CostRotate),
+		Add:     c.LowerHEAdd().Total,
+		Mult:    c.LowerHEMult().Total,
+		Rescale: c.LowerRescale().Total,
+		Rotate:  c.LowerRotate().Total,
 	}
 }
 
@@ -187,6 +243,8 @@ func DefaultBootstrapSchedule(p Params) BootstrapSchedule {
 }
 
 // CostBootstrap charges one packed bootstrapping.
+//
+// Deprecated: prefer LowerBootstrap.
 func (c *Compiler) CostBootstrap(s BootstrapSchedule) float64 {
 	var t float64
 	for i := 0; i < s.Rotations; i++ {

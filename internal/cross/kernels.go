@@ -1,8 +1,6 @@
 package cross
 
 import (
-	"math"
-
 	"cross/internal/modarith"
 	"cross/internal/tpusim"
 )
@@ -42,32 +40,99 @@ func redOps(alg modarith.ReduceAlgorithm) float64 {
 	}
 }
 
-// Compiler lowers HE kernels for one device and parameter set.
+// Compiler lowers HE kernels for one Target and parameter set. The
+// lowering is written once: independent work units (RNS limbs, slots,
+// key-switch digits) shard across the target's cores and collective
+// cost is charged exactly where the mathematics mixes limbs or digits
+// (BConv step 2, the key-switch inner product). On a single-core
+// target every shard is the whole and every collective is free, so the
+// lowering reduces to the paper's single-core model bit-exactly.
 type Compiler struct {
+	// T is the lowering target: a *tpusim.Device or *tpusim.Pod.
+	T Target
+	// Dev is the target's representative core (T.Core()), kept as a
+	// field because most of the lowering charges it directly.
 	Dev *tpusim.Device
 	P   Params
+
+	// tally counts kernel invocations for the Schedule IR.
+	tally KernelCounts
 }
 
-// New returns a compiler after validating the parameters.
-func New(dev *tpusim.Device, p Params) (*Compiler, error) {
+// Compile validates the parameters and returns a compiler for any
+// lowering target — a bare tensor core or a multi-core pod.
+func Compile(t Target, p Params) (*Compiler, error) {
+	if t == nil || t.Core() == nil {
+		return nil, errNilTarget
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Compiler{Dev: dev, P: p}, nil
+	return &Compiler{T: t, Dev: t.Core(), P: p}, nil
+}
+
+// New builds a compiler for a single tensor core.
+//
+// Deprecated-ish: New remains for convenience; Compile is the general
+// entry point and accepts pods too.
+func New(dev *tpusim.Device, p Params) (*Compiler, error) {
+	return Compile(dev, p)
+}
+
+// NumCores returns the target's core count.
+func (c *Compiler) NumCores() int { return c.T.NumCores() }
+
+// shard returns the per-core share of `units` independent work units
+// (the critical path is the core with the ceiling share).
+func (c *Compiler) shard(units int) int {
+	if units <= 0 {
+		return 0
+	}
+	n := c.T.NumCores()
+	return (units + n - 1) / n
+}
+
+// --- collective helpers (tallied for the Schedule IR) ---
+
+func (c *Compiler) allGather(bytes int64) float64 {
+	if c.T.NumCores() > 1 {
+		c.tally.Collectives++
+	}
+	return c.T.AllGather(bytes)
+}
+
+func (c *Compiler) allReduce(bytes int64) float64 {
+	if c.T.NumCores() > 1 {
+		c.tally.Collectives++
+	}
+	return c.T.AllReduce(bytes)
+}
+
+func (c *Compiler) broadcast(bytes int64) float64 {
+	if c.T.NumCores() > 1 {
+		c.tally.Collectives++
+	}
+	return c.T.Broadcast(bytes)
 }
 
 // --- VecModMul (Fig. 13a) ---
 
 // CostVecModMul returns the simulated time of an n-element modular
 // multiplication of two runtime vectors under the configured reduction
-// algorithm. BATLazy routes the reduction through the MXU (a skinny
-// (n, K, K) matmul) — faithfully reproducing why it loses on the TPU's
-// 128-wide tiles (§V-F2).
+// algorithm, with the element range sharded across the target's cores
+// (slot parallelism — no communication). BATLazy routes the reduction
+// through the MXU (a skinny (n, K, K) matmul) — faithfully reproducing
+// why it loses on the TPU's 128-wide tiles (§V-F2).
+//
+// Deprecated: equivalent to LowerOp("VecModMul", …).Total; prefer the
+// Schedule-returning Lower* methods for new code.
 func (c *Compiler) CostVecModMul(n int) float64 {
-	return c.costVecModMulAlg(n, c.P.Red)
+	return c.costVecModMulAlg(c.shard(n), c.P.Red)
 }
 
+// costVecModMulAlg is the core-local lowering (no sharding).
 func (c *Compiler) costVecModMulAlg(n int, alg modarith.ReduceAlgorithm) float64 {
+	c.tally.VecMuls++
 	if alg == modarith.BATLazy {
 		t := c.Dev.Dispatch(tpusim.CatOther)
 		t += c.Dev.VecOp(tpusim.CatVecModOps, n, opsMul32)
@@ -82,18 +147,32 @@ func (c *Compiler) costVecModMulAlg(n int, alg modarith.ReduceAlgorithm) float64
 	return c.Dev.Dispatch(tpusim.CatOther) + c.Dev.VecOp(tpusim.CatVecModOps, n, opsMul32+redOps(alg))
 }
 
-// CostVecModAdd returns the time of an n-element modular addition.
+// CostVecModAdd returns the time of an n-element modular addition,
+// slot-sharded across the target.
+//
+// Deprecated: prefer the Schedule-returning Lower* methods.
 func (c *Compiler) CostVecModAdd(n int) float64 {
+	return c.costVecModAddLocal(c.shard(n))
+}
+
+// costVecModAddLocal is the core-local addition (no sharding).
+func (c *Compiler) costVecModAddLocal(n int) float64 {
+	c.tally.VecAdds++
 	return c.Dev.Dispatch(tpusim.CatOther) + c.Dev.VecOp(tpusim.CatVecModOps, n, 3)
 }
 
 // --- High-precision ModMatMul (Tab. V) ---
+//
+// The ModMatMul ablations are single-core analysis kernels (Tab. V's
+// benchmark runs on one tensor core); they charge the representative
+// core whatever the target.
 
 // CostMatModMulBAT lowers an (H, V, W) modular matmul with pre-known
 // left operand through BAT: one dense (KH, KV, W) INT8 matmul, runtime
 // chunk-stacking of the right operand only, and a K-length merge chain.
 func (c *Compiler) CostMatModMulBAT(h, v, w int) float64 {
 	k := c.P.K()
+	c.tally.MatMuls++
 	t := c.Dev.Dispatch(tpusim.CatOther)
 	t += c.Dev.TypeConvert(tpusim.CatTypeConv, v*w) // RUNTIMECOMPILERIGHT
 	t += c.Dev.MatMulINT8(tpusim.CatNTTMatMul, k*h, k*v, w)
@@ -111,6 +190,7 @@ func (c *Compiler) CostMatModMulBAT(h, v, w int) float64 {
 // length (2K−1 merges).
 func (c *Compiler) CostMatModMulBaseline(h, v, w int) float64 {
 	k := c.P.K()
+	c.tally.MatMuls++
 	rows := (2*k - 1) * h
 	t := 2 * c.Dev.Dispatch(tpusim.CatOther)
 	t += c.Dev.TypeConvert(tpusim.CatTypeConv, v*w+h*v) // both operands
@@ -124,25 +204,53 @@ func (c *Compiler) CostMatModMulBaseline(h, v, w int) float64 {
 // --- BConv step 2 (Tab. VI) ---
 
 // CostBConv returns the simulated time of a full basis conversion of an
-// N-coefficient polynomial from l to lOut limbs. With BAT the step-2
-// (N, L, L')-ModMatMul runs on the MXU as (N, KL, KL'); without, it
-// runs as L·L' scalar passes on the VPU (§III-C1).
+// N-coefficient polynomial from l to lOut limbs. Step 1 is
+// limb-parallel; step 2 multiplies ALL source limbs into every
+// destination limb, so on a multi-core target the coefficient-domain
+// source is all-gathered before each core computes its ⌈lOut/n⌉
+// destination limbs. With BAT the step-2 (N, L, L')-ModMatMul runs on
+// the MXU as (N, KL, KL'); without, it runs as L·L' scalar passes on
+// the VPU (§III-C1).
+//
+// Deprecated: prefer LowerBConv, which returns the full Schedule.
 func (c *Compiler) CostBConv(n, l, lOut int, useBAT bool) float64 {
+	return c.costBConvGathered(n, l, lOut, useBAT) + c.allGather(int64(4*n*l))
+}
+
+// costBConvGathered is CostBConv minus the all-gather (the caller has
+// already paid to replicate the source): step 1 limb-sharded, then the
+// step-2 matmul over the full source with the output limbs sharded.
+func (c *Compiler) costBConvGathered(n, l, lOut int, useBAT bool) float64 {
+	return c.costBConvShardedBy(n, l, lOut, useBAT, c.shard)
+}
+
+// costBConvLocal is the fully core-local basis conversion — used for
+// per-digit ModUp work inside the key switch, where a digit's whole
+// chain lives on one core.
+func (c *Compiler) costBConvLocal(n, l, lOut int, useBAT bool) float64 {
+	return c.costBConvShardedBy(n, l, lOut, useBAT, func(units int) int { return units })
+}
+
+// costBConvShardedBy is the one BConv cost model; sh maps a limb count
+// to the per-core share (the identity for core-local conversions).
+func (c *Compiler) costBConvShardedBy(n, l, lOut int, useBAT bool, sh func(int) int) float64 {
+	c.tally.BConvs++
+	alg := c.P.Red
 	// Step 1: l independent N-length VecModMul (both strategies).
 	t := c.Dev.Dispatch(tpusim.CatOther)
-	t += c.Dev.VecOp(tpusim.CatVecModOps, n*l, opsMul32+redOps(c.P.Red))
+	t += c.Dev.VecOp(tpusim.CatVecModOps, n*sh(l), opsMul32+redOps(alg))
 	if useBAT {
 		k := c.P.K()
 		t += c.Dev.TypeConvert(tpusim.CatTypeConv, n*l)
-		t += c.Dev.MatMulINT8(tpusim.CatBConvMatMul, n, k*l, k*lOut)
-		t += c.Dev.VecOp(tpusim.CatVecModOps, n*lOut, opsChunkMerge+redOps(c.P.Red))
-		t += c.Dev.HBM(tpusim.CatHBM, int64(k*l*k*lOut))
+		t += c.Dev.MatMulINT8(tpusim.CatBConvMatMul, n, k*l, k*sh(lOut))
+		t += c.Dev.VecOp(tpusim.CatVecModOps, n*sh(lOut), opsChunkMerge+redOps(alg))
+		t += c.Dev.HBM(tpusim.CatHBM, int64(k*l*k*sh(lOut)))
 		return t
 	}
 	// VPU path: for each of the lOut output limbs, an l-term
 	// multiply-accumulate over every coefficient.
-	t += c.Dev.VecOp(tpusim.CatVecModOps, n*lOut, float64(l)*(opsMul32+redOps(c.P.Red)+1))
-	t += c.Dev.HBM(tpusim.CatHBM, int64(4*l*lOut))
+	t += c.Dev.VecOp(tpusim.CatVecModOps, n*sh(lOut), float64(l)*(opsMul32+redOps(alg)+1))
+	t += c.Dev.HBM(tpusim.CatHBM, int64(4*l*sh(lOut)))
 	return t
 }
 
@@ -162,21 +270,33 @@ func (c *Compiler) NTTWorkingSetBytes(batch int) int64 {
 }
 
 // CostNTTMat returns the simulated latency of `batch` layout-invariant
-// 3-step NTTs of one limb (Fig. 10 row 3): two BAT INT8 matmuls on the
-// MXU, the element-wise twist and Montgomery reductions on the VPU, and
-// zero reordering. Parameters are fetched from HBM once when the
-// working set fits on-chip, per-batch otherwise.
+// 3-step NTTs of one limb (Fig. 10 row 3), round-robined across the
+// target's cores: each core transforms its ⌈batch/n⌉ share and the
+// outputs stay sharded (element-wise consumers are layout- and
+// placement-agnostic, the MAT property extended across the pod). On
+// one core: two BAT INT8 matmuls on the MXU, the element-wise twist
+// and Montgomery reductions on the VPU, and zero reordering.
+//
+// Deprecated: prefer LowerNTT, which returns the full Schedule.
 func (c *Compiler) CostNTTMat(batch int) float64 {
-	return c.costNTTMatAlg(batch, c.P.Red, tpusim.CatNTTMatMul)
+	return c.costNTTMatAlg(c.shard(batch), c.P.Red, tpusim.CatNTTMatMul)
 }
 
-// CostINTTMat is the inverse transform (same structure, inverse
-// matrices) charged to the INTT category.
+// CostINTTMat is the sharded inverse transform (same structure,
+// inverse matrices) charged to the INTT category.
+//
+// Deprecated: prefer LowerINTT.
 func (c *Compiler) CostINTTMat(batch int) float64 {
-	return c.costNTTMatAlg(batch, c.P.Red, tpusim.CatINTTMatMul)
+	return c.costNTTMatAlg(c.shard(batch), c.P.Red, tpusim.CatINTTMatMul)
 }
 
+// costNTTMatAlg is the core-local MAT NTT lowering of one batch.
 func (c *Compiler) costNTTMatAlg(batch int, alg modarith.ReduceAlgorithm, matCat string) float64 {
+	if matCat == tpusim.CatINTTMatMul {
+		c.tally.INTTs++
+	} else {
+		c.tally.NTTs++
+	}
 	k := c.P.K()
 	r, cc := c.P.R, c.P.C
 	n := c.P.N()
@@ -233,13 +353,14 @@ func (c *Compiler) costVecModMulConst(n int, alg modarith.ReduceAlgorithm) float
 }
 
 // CostNTTMatWithRed is the Fig. 13b ablation entry: the MAT NTT with an
-// explicit reduction-algorithm override.
+// explicit reduction-algorithm override (core-local — the ablation is a
+// single-core experiment).
 func (c *Compiler) CostNTTMatWithRed(batch int, alg modarith.ReduceAlgorithm) float64 {
 	return c.costNTTMatAlg(batch, alg, tpusim.CatNTTMatMul)
 }
 
 // CostNTTRadix2 returns the simulated latency of `batch` radix-2
-// Cooley–Tukey NTTs (Alg. 3) on the TPU: log2(N) stages of VPU
+// Cooley–Tukey NTTs (Alg. 3) on one core: log2(N) stages of VPU
 // butterflies each followed by a bit-complement shuffle whose block
 // size halves per stage — the fine-grained reordering that collapses
 // XLU utilization (§F1, Tab. X).
@@ -259,8 +380,8 @@ func (c *Compiler) CostNTTRadix2(batch int) float64 {
 }
 
 // CostNTT4Step returns the simulated latency of the GPU-style 4-step
-// NTT: the same matrix pipeline as MAT plus the explicit runtime
-// transpose and bit-reverse shuffles MAT eliminates (§III-D1).
+// NTT on one core: the same matrix pipeline as MAT plus the explicit
+// runtime transpose and bit-reverse shuffles MAT eliminates (§III-D1).
 func (c *Compiler) CostNTT4Step(batch int) float64 {
 	n := c.P.N()
 	t := c.costNTTMatAlg(batch, c.P.Red, tpusim.CatNTTMatMul)
@@ -274,15 +395,17 @@ func (c *Compiler) CostNTT4Step(batch int) float64 {
 	return t
 }
 
-// CostAutomorphism returns the cost of τ_t on a full ciphertext
-// polynomial (limbs × N): MAT cannot embed a general automorphism, so
-// it lowers to a random gather (§V-E) — Fig. 12's 21% Permutation
-// share.
+// CostAutomorphism returns the cost of τ_t on `limbs` polynomial limbs,
+// limb-sharded across the target: MAT cannot embed a general
+// automorphism, so each limb lowers to a random gather (§V-E) —
+// Fig. 12's 21% Permutation share.
 func (c *Compiler) CostAutomorphism(limbs int) float64 {
-	return c.Dev.Dispatch(tpusim.CatOther) + c.Dev.Gather(tpusim.CatPermutation, limbs*c.P.N())
+	c.tally.Gathers++
+	return c.Dev.Dispatch(tpusim.CatOther) +
+		c.Dev.Gather(tpusim.CatPermutation, c.shard(limbs)*c.P.N())
 }
 
-// NTTThroughput returns NTTs/second at a batch size, for one core.
+// NTTThroughput returns NTTs/second at a batch size on the target.
 func (c *Compiler) NTTThroughput(batch int) float64 {
 	lat := c.snapshot(func() float64 { return c.CostNTTMat(batch) })
 	return float64(batch) / lat
@@ -301,18 +424,14 @@ func (c *Compiler) BestNTTBatch(maxBatch int) (int, float64) {
 	return best, bestThr
 }
 
-// snapshot runs a costing closure without polluting the device trace,
-// returning only the elapsed simulated time.
+// snapshot runs a costing closure without polluting the target's
+// traces, returning only the elapsed simulated time.
 func (c *Compiler) snapshot(f func() float64) float64 {
-	saved := c.Dev.Trace
-	c.Dev.Trace = tpusim.NewTrace()
-	t := f()
-	c.Dev.Trace = saved
-	if math.IsNaN(t) || t < 0 {
-		panic("cross: cost function returned invalid time")
-	}
-	return t
+	return c.LowerOp("snapshot", f).Total
 }
 
 // Snapshot exposes trace-isolated costing for harness code.
+//
+// Deprecated: equivalent to LowerOp(…).Total; prefer the Lower* methods
+// which also return the breakdown and kernel counts.
 func (c *Compiler) Snapshot(f func() float64) float64 { return c.snapshot(f) }

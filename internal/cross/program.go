@@ -1,0 +1,202 @@
+package cross
+
+import (
+	"fmt"
+	"strings"
+
+	"cross/internal/tpusim"
+)
+
+// Program composes multi-operator HE workloads into one costed
+// schedule, §V-A style (total kernel invocations × per-operator
+// schedule, no pipelining or fusion — the paper's worst case). The
+// builder is fluent:
+//
+//	sched := NewProgram(c).HEMult().Rotate(1).Bootstrap(bs).Batch(64).Lower()
+//
+// Per-operator schedules are memoized, so a program with thousands of
+// repeated operators lowers each distinct operator once. Batch
+// replicates the whole program (the serving axis: one schedule per
+// request, no cross-request fusion).
+type Program struct {
+	c     *Compiler
+	steps []progStep
+	batch int
+	memo  map[string]*Schedule
+}
+
+// progStep is one operator × repetition entry.
+type progStep struct {
+	key   string // memoization key (operators with identical cost share one)
+	label string // display label
+	count int
+	lower func() *Schedule
+}
+
+// NewProgram starts an empty program on a compiler.
+func NewProgram(c *Compiler) *Program {
+	return &Program{c: c, batch: 1, memo: make(map[string]*Schedule)}
+}
+
+// Compiler returns the program's compiler.
+func (p *Program) Compiler() *Compiler { return p.c }
+
+// append records count repetitions of one operator (no-op for count ≤ 0).
+func (p *Program) append(key, label string, count int, f func() *Schedule) *Program {
+	if count <= 0 {
+		return p
+	}
+	p.steps = append(p.steps, progStep{key: key, label: label, count: count, lower: f})
+	return p
+}
+
+// HEMult appends one ciphertext multiplication.
+func (p *Program) HEMult() *Program { return p.HEMultN(1) }
+
+// HEMultN appends n ciphertext multiplications.
+func (p *Program) HEMultN(n int) *Program {
+	return p.append("mult", "HE-Mult", n, p.c.LowerHEMult)
+}
+
+// HEAdd appends one ciphertext addition.
+func (p *Program) HEAdd() *Program { return p.HEAddN(1) }
+
+// HEAddN appends n ciphertext additions.
+func (p *Program) HEAddN(n int) *Program {
+	return p.append("add", "HE-Add", n, p.c.LowerHEAdd)
+}
+
+// PtMul appends one plaintext-ciphertext multiplication.
+func (p *Program) PtMul() *Program { return p.PtMulN(1) }
+
+// PtMulN appends n plaintext-ciphertext multiplications.
+func (p *Program) PtMulN(n int) *Program {
+	return p.append("ptmul", "PtMul", n, p.c.LowerPtMul)
+}
+
+// PtAdd appends one plaintext-ciphertext addition.
+func (p *Program) PtAdd() *Program { return p.PtAddN(1) }
+
+// PtAddN appends n plaintext-ciphertext additions.
+func (p *Program) PtAddN(n int) *Program {
+	return p.append("ptadd", "PtAdd", n, p.c.LowerPtAdd)
+}
+
+// Rotate appends a slot rotation by k. The simulated cost is
+// independent of k (every rotation is one automorphism gather plus one
+// key switch), so all rotations share one memoized schedule.
+func (p *Program) Rotate(k int) *Program { return p.RotateN(k, 1) }
+
+// RotateN appends n rotations by k.
+func (p *Program) RotateN(k, n int) *Program {
+	_ = k // cost is amount-independent; kept for schedule fidelity
+	return p.append("rotate", "Rotate", n, p.c.LowerRotate)
+}
+
+// Conjugate appends the conjugation rotation.
+func (p *Program) Conjugate() *Program {
+	return p.append("conj", "Conjugate", 1, p.c.LowerConjugate)
+}
+
+// Rescale appends one standalone rescaling.
+func (p *Program) Rescale() *Program { return p.RescaleN(1) }
+
+// RescaleN appends n standalone rescalings.
+func (p *Program) RescaleN(n int) *Program {
+	return p.append("rescale", "Rescale", n, p.c.LowerRescale)
+}
+
+// KeySwitch appends one hybrid key switch.
+func (p *Program) KeySwitch() *Program {
+	return p.append("keyswitch", "KeySwitch", 1, p.c.LowerKeySwitch)
+}
+
+// NTT appends one batched MAT NTT launch.
+func (p *Program) NTT(batch int) *Program {
+	key := fmt.Sprintf("ntt/%d", batch)
+	return p.append(key, fmt.Sprintf("NTT×%d", batch), 1,
+		func() *Schedule { return p.c.LowerNTT(batch) })
+}
+
+// Bootstrap appends one packed bootstrapping with the given operator
+// budget.
+func (p *Program) Bootstrap(s BootstrapSchedule) *Program {
+	key := fmt.Sprintf("bootstrap/%+v", s) // whole struct: collision-free if fields grow
+	return p.append(key, "Bootstrap", 1,
+		func() *Schedule { return p.c.LowerBootstrap(s) })
+}
+
+// Batch sets the program's replication factor: the whole operator
+// sequence runs b times (b ≥ 1). Returns the program for chaining.
+func (p *Program) Batch(b int) *Program {
+	if b >= 1 {
+		p.batch = b
+	}
+	return p
+}
+
+// Steps returns the number of distinct operator entries recorded.
+func (p *Program) Steps() int { return len(p.steps) }
+
+// OpCount returns the total operator count (entries × repetitions ×
+// batch).
+func (p *Program) OpCount() int {
+	var n int
+	for _, st := range p.steps {
+		n += st.count
+	}
+	return n * p.batch
+}
+
+// sched returns the memoized schedule for one step.
+func (p *Program) sched(st progStep) *Schedule {
+	if s, ok := p.memo[st.key]; ok {
+		return s
+	}
+	s := st.lower()
+	p.memo[st.key] = s
+	return s
+}
+
+// Lower lowers the whole program into one Schedule: per-operator
+// schedules are lowered once (memoized) and combined — totals and
+// kernel counts scale by repetition and batch, traces merge by
+// category. Operators execute serially with no fusion, so times add
+// (§V-A methodology).
+func (p *Program) Lower() *Schedule {
+	trace := tpusim.NewTrace()
+	var total, collective float64
+	var kernels KernelCounts
+	var labels []string
+	for _, st := range p.steps {
+		s := p.sched(st)
+		total += float64(st.count) * s.Total
+		collective += float64(st.count) * s.Collective
+		kernels = kernels.plus(s.Kernels.times(st.count * p.batch))
+		for cat, sec := range s.Trace.ByCategory() {
+			trace.Add(cat, sec*float64(st.count*p.batch))
+		}
+		if st.count == 1 {
+			labels = append(labels, st.label)
+		} else {
+			labels = append(labels, fmt.Sprintf("%d×%s", st.count, st.label))
+		}
+	}
+	total *= float64(p.batch)
+	collective *= float64(p.batch)
+
+	op := "Program[" + strings.Join(labels, " + ") + "]"
+	if p.batch > 1 {
+		op = fmt.Sprintf("%d×%s", p.batch, op)
+	}
+	return &Schedule{
+		Op:         op,
+		Target:     p.c.T.Name(),
+		Cores:      p.c.T.NumCores(),
+		Params:     p.c.P,
+		Total:      total,
+		Collective: collective,
+		Trace:      trace,
+		Kernels:    kernels,
+	}
+}

@@ -1,0 +1,256 @@
+package cross
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"cross/internal/tpusim"
+)
+
+// errNilTarget rejects Compile(nil, …) and nil/empty pods.
+var errNilTarget = errors.New("cross: lowering needs a target with at least one core")
+
+// KernelCounts tallies the kernel invocations of one lowering — the
+// Schedule IR's op-count face. Counts are launches, not elements: one
+// batched NTT of 64 limbs is one NTT entry.
+type KernelCounts struct {
+	NTTs        int // batched MAT NTT launches
+	INTTs       int // batched MAT INTT launches
+	BConvs      int // basis conversions (step 1 + step 2)
+	MatMuls     int // standalone ModMatMul lowerings (Tab. V ablations)
+	VecMuls     int // element-wise modular multiplication launches
+	VecAdds     int // element-wise modular addition launches
+	Gathers     int // automorphism gathers (the permutation MAT cannot embed)
+	Collectives int // inter-core collectives (all-gather/all-reduce/broadcast)
+}
+
+// Total returns the overall kernel-launch count.
+func (k KernelCounts) Total() int {
+	return k.NTTs + k.INTTs + k.BConvs + k.MatMuls + k.VecMuls + k.VecAdds + k.Gathers + k.Collectives
+}
+
+// plus returns the element-wise sum.
+func (k KernelCounts) plus(o KernelCounts) KernelCounts {
+	return KernelCounts{
+		NTTs:        k.NTTs + o.NTTs,
+		INTTs:       k.INTTs + o.INTTs,
+		BConvs:      k.BConvs + o.BConvs,
+		MatMuls:     k.MatMuls + o.MatMuls,
+		VecMuls:     k.VecMuls + o.VecMuls,
+		VecAdds:     k.VecAdds + o.VecAdds,
+		Gathers:     k.Gathers + o.Gathers,
+		Collectives: k.Collectives + o.Collectives,
+	}
+}
+
+// times returns the counts scaled by n.
+func (k KernelCounts) times(n int) KernelCounts {
+	return KernelCounts{
+		NTTs:        k.NTTs * n,
+		INTTs:       k.INTTs * n,
+		BConvs:      k.BConvs * n,
+		MatMuls:     k.MatMuls * n,
+		VecMuls:     k.VecMuls * n,
+		VecAdds:     k.VecAdds * n,
+		Gathers:     k.Gathers * n,
+		Collectives: k.Collectives * n,
+	}
+}
+
+// String renders the non-zero counts.
+func (k KernelCounts) String() string {
+	var parts []string
+	add := func(name string, v int) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	add("ntt", k.NTTs)
+	add("intt", k.INTTs)
+	add("bconv", k.BConvs)
+	add("matmul", k.MatMuls)
+	add("vecmul", k.VecMuls)
+	add("vecadd", k.VecAdds)
+	add("gather", k.Gathers)
+	add("collective", k.Collectives)
+	if len(parts) == 0 {
+		return "(no kernels)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Schedule is the compiler's lowering artifact: one HE operator (or a
+// whole Program) lowered onto a Target, carrying the end-to-end
+// latency, the per-category compute breakdown, kernel-invocation
+// counts, and the shard/collective metadata of the lowering. Where the
+// legacy Cost* methods return a bare float64, a Schedule is the
+// structured IR downstream consumers (harness reports, workload
+// estimators, cmd tools, serving-scale batching) compose without
+// re-deriving anything.
+type Schedule struct {
+	Op     string // operator name ("HE-Mult", "Program[…]", …)
+	Target string // target name ("TPUv6e", "TPUv6e-4")
+	Cores  int    // cores the lowering sharded across
+	Params Params // parameter set the schedule was lowered under
+
+	// Total is the end-to-end simulated latency in seconds: the
+	// representative core's compute time plus all collective time (the
+	// SPMD critical path — cores synchronise at every collective).
+	Total float64
+
+	// Collective is the inter-chip (ICI) share of Total; zero on
+	// single-core targets.
+	Collective float64
+
+	// Trace is the per-category breakdown (Fig. 12's legend), with the
+	// collective share under tpusim.CatICI.
+	Trace *tpusim.Trace
+
+	// Kernels counts the kernel launches of the lowering.
+	Kernels KernelCounts
+}
+
+// Compute returns the core-compute share of Total (Total − Collective).
+func (s *Schedule) Compute() float64 { return s.Total - s.Collective }
+
+// Seconds returns the time charged to one trace category.
+func (s *Schedule) Seconds(category string) float64 { return s.Trace.Seconds(category) }
+
+// Breakdown renders the Fig. 12-style percentage breakdown.
+func (s *Schedule) Breakdown() string { return s.Trace.Breakdown() }
+
+// String renders a one-schedule summary.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s (%d core", s.Op, s.Target, s.Cores)
+	if s.Cores != 1 {
+		b.WriteString("s")
+	}
+	fmt.Fprintf(&b, "): %.2f µs", s.Total*1e6)
+	if s.Collective > 0 {
+		fmt.Fprintf(&b, " (%.2f µs collective)", s.Collective*1e6)
+	}
+	fmt.Fprintf(&b, "\nkernels: %s\n%s", s.Kernels, s.Breakdown())
+	return b.String()
+}
+
+// LowerOp lowers an arbitrary costing closure into a Schedule: the
+// closure runs against fresh compute and collective traces (the live
+// traces are untouched) and the elapsed time, breakdown, and kernel
+// counts are captured. This is the generic escape hatch; the named
+// Lower* methods cover the standard operators.
+func (c *Compiler) LowerOp(op string, f func() float64) *Schedule {
+	savedCompute := c.Dev.Trace
+	c.Dev.Trace = tpusim.NewTrace()
+	savedCollective := c.T.CollectiveTrace()
+	if savedCollective != nil {
+		c.T.SetCollectiveTrace(tpusim.NewTrace())
+	}
+	savedTally := c.tally
+	c.tally = KernelCounts{}
+	// Restore under defer so a panicking closure cannot leave the
+	// compiler charging the throwaway traces.
+	defer func() {
+		c.Dev.Trace = savedCompute
+		if savedCollective != nil {
+			c.T.SetCollectiveTrace(savedCollective)
+		}
+		c.tally = savedTally
+	}()
+
+	total := f()
+
+	s := &Schedule{
+		Op:      op,
+		Target:  c.T.Name(),
+		Cores:   c.T.NumCores(),
+		Params:  c.P,
+		Total:   total,
+		Trace:   c.Dev.Trace,
+		Kernels: c.tally,
+	}
+	if ct := c.T.CollectiveTrace(); savedCollective != nil && ct != nil {
+		s.Collective = ct.Total()
+		if s.Collective > 0 {
+			s.Trace.Add(tpusim.CatICI, s.Collective)
+		}
+	}
+
+	if math.IsNaN(total) || total < 0 {
+		panic("cross: cost function returned invalid time")
+	}
+	return s
+}
+
+// --- HE operator schedules (Tab. VIII) ---
+
+// LowerHEAdd lowers a ciphertext addition.
+func (c *Compiler) LowerHEAdd() *Schedule { return c.LowerOp("HE-Add", c.CostHEAdd) }
+
+// LowerHEMult lowers a full ciphertext multiplication (tensor product,
+// relinearisation, rescale).
+func (c *Compiler) LowerHEMult() *Schedule { return c.LowerOp("HE-Mult", c.CostHEMult) }
+
+// LowerRescale lowers one rescaling.
+func (c *Compiler) LowerRescale() *Schedule { return c.LowerOp("Rescale", c.CostRescale) }
+
+// LowerRotate lowers a slot rotation (automorphism + key switch).
+func (c *Compiler) LowerRotate() *Schedule { return c.LowerOp("Rotate", c.CostRotate) }
+
+// LowerConjugate lowers the conjugation rotation.
+func (c *Compiler) LowerConjugate() *Schedule { return c.LowerOp("Conjugate", c.CostConjugate) }
+
+// LowerKeySwitch lowers one hybrid key switch.
+func (c *Compiler) LowerKeySwitch() *Schedule { return c.LowerOp("KeySwitch", c.CostKeySwitch) }
+
+// LowerPtMul lowers a plaintext-ciphertext multiplication.
+func (c *Compiler) LowerPtMul() *Schedule { return c.LowerOp("PtMul", c.CostPtMul) }
+
+// LowerPtAdd lowers a plaintext-ciphertext addition.
+func (c *Compiler) LowerPtAdd() *Schedule { return c.LowerOp("PtAdd", c.CostPtAdd) }
+
+// --- kernel schedules ---
+
+// LowerNTT lowers a batch of MAT NTTs, limb-sharded across the target.
+func (c *Compiler) LowerNTT(batch int) *Schedule {
+	return c.LowerOp(fmt.Sprintf("NTT×%d", batch), func() float64 { return c.CostNTTMat(batch) })
+}
+
+// LowerINTT lowers a batch of inverse transforms.
+func (c *Compiler) LowerINTT(batch int) *Schedule {
+	return c.LowerOp(fmt.Sprintf("INTT×%d", batch), func() float64 { return c.CostINTTMat(batch) })
+}
+
+// LowerBConv lowers a basis conversion of an N-coefficient polynomial
+// from l to lOut limbs.
+func (c *Compiler) LowerBConv(n, l, lOut int, useBAT bool) *Schedule {
+	return c.LowerOp(fmt.Sprintf("BConv %d→%d", l, lOut),
+		func() float64 { return c.CostBConv(n, l, lOut, useBAT) })
+}
+
+// LowerAutomorphism lowers τ_t on `limbs` polynomial limbs.
+func (c *Compiler) LowerAutomorphism(limbs int) *Schedule {
+	return c.LowerOp("Automorphism", func() float64 { return c.CostAutomorphism(limbs) })
+}
+
+// --- composite schedules ---
+
+// LowerBootstrap lowers one packed bootstrapping.
+func (c *Compiler) LowerBootstrap(s BootstrapSchedule) *Schedule {
+	return c.LowerOp("Bootstrap", func() float64 { return c.CostBootstrap(s) })
+}
+
+// LowerBootstrapHoisted lowers the packed bootstrapping with hoisted
+// BSGS rotation groups of the given size.
+func (c *Compiler) LowerBootstrapHoisted(s BootstrapSchedule, groupSize int) *Schedule {
+	return c.LowerOp("Bootstrap(hoisted)", func() float64 { return c.CostBootstrapHoisted(s, groupSize) })
+}
+
+// LowerRotateHoisted lowers `count` rotations of one ciphertext with a
+// shared decomposition.
+func (c *Compiler) LowerRotateHoisted(count int) *Schedule {
+	return c.LowerOp(fmt.Sprintf("Rotate(hoisted)×%d", count),
+		func() float64 { return c.CostRotateHoisted(count) })
+}

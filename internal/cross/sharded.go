@@ -1,258 +1,71 @@
 package cross
 
-import (
-	"fmt"
+import "cross/internal/tpusim"
 
-	"cross/internal/tpusim"
-)
-
-// Sharded lowering (pod-scale CROSS). The single-core compiler lowers
-// every HE kernel onto one tensor core; ShardedCompiler lowers the same
-// schedules onto a tpusim.Pod, splitting the two parallelism axes HE
-// kernels expose:
+// ShardedCompiler is the legacy handle for pod-scale lowering. The
+// sharded lowering itself moved into Compiler: every Cost*/Lower*
+// method is target-aware, and a *tpusim.Pod is just another Target, so
+// this type is now a thin wrapper that pins the pod field for old
+// callers. New code should use Compile(pod, params) directly.
 //
-//   - limb parallelism: RNS limbs are independent through NTT/INTT and
-//     all element-wise arithmetic, so batches of limb transforms split
-//     across cores with no communication;
-//   - slot parallelism: element-wise VecMod* kernels split their
-//     element range across cores with no communication.
-//
-// Communication appears exactly where the mathematics mixes limbs or
-// digits:
-//
-//   - BConv step 2 multiplies ALL source limbs into every destination
-//     limb, so the coefficient-domain source must be all-gathered
-//     before each core computes its destination-limb shard;
-//   - the key-switch inner product accumulates across digits that live
-//     on different cores, costing one all-reduce of the two
-//     accumulator polynomials over the extended basis.
-//
-// The schedule is SPMD and the cores are symmetric, so the pod latency
-// of a kernel is core 0's time plus the collective time; both are
-// charged to their respective traces (core trace / pod trace).
+// Deprecated: use Compile with a *tpusim.Pod target.
 type ShardedCompiler struct {
+	*Compiler
 	Pod *tpusim.Pod
-	P   Params
-
-	// c0 lowers the per-core work onto core 0 — by symmetry every
-	// other core performs identical work in parallel.
-	c0 *Compiler
 }
 
 // NewSharded validates the parameters and builds a pod compiler.
+//
+// Deprecated: use Compile(pod, p).
 func NewSharded(pod *tpusim.Pod, p Params) (*ShardedCompiler, error) {
 	if pod == nil || len(pod.Cores) == 0 {
-		return nil, fmt.Errorf("cross: sharded lowering needs a pod with at least one core")
+		return nil, errNilTarget
 	}
-	c0, err := New(pod.Cores[0], p)
+	c, err := Compile(pod, p)
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedCompiler{Pod: pod, P: p, c0: c0}, nil
+	return &ShardedCompiler{Compiler: c, Pod: pod}, nil
 }
 
-// LowerSharded re-targets this compiler's parameter set at a pod,
-// returning the sharded lowering mode.
+// LowerSharded re-targets this compiler's parameter set at a pod.
+//
+// Deprecated: use Compile(pod, c.P).
 func (c *Compiler) LowerSharded(pod *tpusim.Pod) (*ShardedCompiler, error) {
 	return NewSharded(pod, c.P)
 }
 
-// NumCores returns the pod's core count.
-func (s *ShardedCompiler) NumCores() int { return len(s.Pod.Cores) }
-
-// shard returns the per-core share of `units` independent work units
-// (the critical path is the core with the ceiling share).
-func (s *ShardedCompiler) shard(units int) int {
-	n := s.NumCores()
-	if units <= 0 {
-		return 0
-	}
-	return (units + n - 1) / n
-}
-
-// --- element-wise kernels (slot-parallel, no communication) ---
-
-// CostVecModMul charges an n-element modular multiplication with the
-// element range sharded across cores.
-func (s *ShardedCompiler) CostVecModMul(n int) float64 {
-	return s.c0.CostVecModMul(s.shard(n))
-}
-
-// CostVecModAdd charges an n-element modular addition, sharded.
-func (s *ShardedCompiler) CostVecModAdd(n int) float64 {
-	return s.c0.CostVecModAdd(s.shard(n))
-}
-
-// --- NTT (limb-parallel, no communication) ---
-
-// CostNTTMat charges `batch` limb NTTs round-robined across cores:
-// each core transforms its ⌈batch/n⌉ share and the outputs stay
-// sharded (element-wise consumers are layout- and placement-agnostic,
-// the MAT property extended across the pod).
-func (s *ShardedCompiler) CostNTTMat(batch int) float64 {
-	return s.c0.CostNTTMat(s.shard(batch))
-}
-
-// CostINTTMat is the sharded inverse transform.
-func (s *ShardedCompiler) CostINTTMat(batch int) float64 {
-	return s.c0.CostINTTMat(s.shard(batch))
-}
-
-// --- BConv (the limb-mixing kernel: gather, then shard outputs) ---
-
-// CostBConv charges a basis conversion of an N-coefficient polynomial
-// from l to lOut limbs across the pod: step 1 is limb-parallel, the
-// coefficient-domain source is all-gathered (step 2 consumes every
-// source limb), and each core computes its ⌈lOut/n⌉ destination limbs
-// with the BAT MXU matmul.
+// CostBConv keeps the legacy three-argument pod signature (BAT is
+// always on in the sharded lowering).
+//
+// Deprecated: use Compiler.CostBConv or LowerBConv.
 func (s *ShardedCompiler) CostBConv(n, l, lOut int) float64 {
-	// Every core needs the full l-limb source for its matmul shard.
-	return s.costBConvGathered(n, l, lOut) + s.Pod.AllGather(int64(4*n*l))
-}
-
-// --- HE operators ---
-
-// CostKeySwitch charges one hybrid key switch across the pod. The
-// dnum ModUp digits are independent and round-robin across cores; the
-// cross-digit inner-product accumulation costs one all-reduce of both
-// accumulator polynomials over the extended basis; ModDown proceeds
-// limb-parallel with a sharded BConv per result polynomial.
-func (s *ShardedCompiler) CostKeySwitch() float64 {
-	n := s.P.N()
-	alpha := s.P.Alpha()
-	dnum := s.P.Dnum
-	l := s.P.L
-	ext := l + alpha
-
-	var t float64
-	// ModUp: each core runs its ⌈dnum/n⌉ digits serially; a digit's
-	// INTT → BConv → NTT chain is core-local, so the single-core
-	// lowering applies unchanged.
-	dShard := s.shard(dnum)
-	for d := 0; d < dShard; d++ {
-		t += s.c0.CostINTTMat(alpha)
-		t += s.c0.CostBConv(n, alpha, ext-alpha, true)
-		t += s.c0.CostNTTMat(ext - alpha)
-	}
-	// evk inner product over the local digits, then all-reduce the two
-	// accumulator polynomials (ext limbs × N coefficients × 4 bytes).
-	t += s.CostVecModMulLocal(dShard * 2 * ext * n)
-	t += s.CostVecModAddLocal((dShard - 1) * 2 * ext * n)
-	t += s.Pod.AllReduce(int64(2 * ext * n * 4))
-	// ModDown ×2 result polynomials, limb-parallel.
-	for p := 0; p < 2; p++ {
-		t += s.CostINTTMat(alpha)
-		t += s.Pod.AllGather(int64(4 * n * alpha))
-		t += s.costBConvGathered(n, alpha, l)
-		t += s.CostNTTMat(l)
-		t += s.CostVecModAdd(l * n) // subtract
-		t += s.CostVecModMul(l * n) // × P⁻¹ mod q_i
-	}
-	return t
-}
-
-// costBConvGathered is CostBConv minus the all-gather (the caller has
-// already paid to replicate the source): step 1 limb-sharded, then the
-// step-2 BAT matmul over the full source with the output limbs
-// sharded.
-func (s *ShardedCompiler) costBConvGathered(n, l, lOut int) float64 {
-	k := s.P.K()
-	dev := s.c0.Dev
-	alg := s.P.Red
-	t := dev.Dispatch(tpusim.CatOther)
-	t += dev.VecOp(tpusim.CatVecModOps, n*s.shard(l), opsMul32+redOps(alg))
-	t += dev.TypeConvert(tpusim.CatTypeConv, n*l)
-	t += dev.MatMulINT8(tpusim.CatBConvMatMul, n, k*l, k*s.shard(lOut))
-	t += dev.VecOp(tpusim.CatVecModOps, n*s.shard(lOut), opsChunkMerge+redOps(alg))
-	t += dev.HBM(tpusim.CatHBM, int64(k*l*k*s.shard(lOut)))
-	return t
+	return s.Compiler.CostBConv(n, l, lOut, true)
 }
 
 // CostVecModMulLocal charges an n-element multiplication whose operand
 // range is already core-local (NOT divided by the core count) — used
 // for per-digit work inside the key switch.
+//
+// Deprecated: local costing is an internal detail of the unified
+// lowering.
 func (s *ShardedCompiler) CostVecModMulLocal(n int) float64 {
-	return s.c0.CostVecModMul(n)
+	return s.costVecModMulAlg(n, s.P.Red)
 }
 
 // CostVecModAddLocal is the core-local addition analogue.
+//
+// Deprecated: local costing is an internal detail of the unified
+// lowering.
 func (s *ShardedCompiler) CostVecModAddLocal(n int) float64 {
-	return s.c0.CostVecModAdd(n)
+	return s.costVecModAddLocal(n)
 }
 
-// CostRescale charges one rescaling across the pod: the dropped top
-// limb is inverse-transformed on one core and replicated (it is the
-// BConv source for every output limb), then the L−1 output limbs
-// proceed limb-parallel.
-func (s *ShardedCompiler) CostRescale() float64 {
-	n := s.P.N()
-	l := s.P.L
-	var t float64
-	for p := 0; p < 2; p++ {
-		t += s.c0.CostINTTMat(1)
-		t += s.Pod.Broadcast(int64(4 * n))
-		t += s.costBConvGathered(n, 1, l-1)
-		t += s.CostNTTMat(l - 1)
-		t += s.CostVecModAdd((l - 1) * n)
-		t += s.CostVecModMul((l - 1) * n) // × q_L⁻¹ mod q_i
+// CollectiveSeconds reports the ICI time accumulated in the target's
+// collective trace. (Defined on Compiler so both faces share it.)
+func (c *Compiler) CollectiveSeconds() float64 {
+	if ct := c.T.CollectiveTrace(); ct != nil {
+		return ct.Seconds(tpusim.CatICI)
 	}
-	return t
-}
-
-// CostHEAdd charges a ciphertext addition (slot-parallel).
-func (s *ShardedCompiler) CostHEAdd() float64 {
-	return s.CostVecModAdd(2 * s.P.L * s.P.N())
-}
-
-// CostHEMult charges a full ciphertext multiplication across the pod:
-// the tensor product is slot-parallel, relinearisation is the sharded
-// key switch, and the rescale is limb-parallel.
-func (s *ShardedCompiler) CostHEMult() float64 {
-	n := s.P.N()
-	l := s.P.L
-	t := s.CostVecModMul(4 * l * n)
-	t += s.CostVecModAdd(l * n)
-	t += s.CostKeySwitch()
-	t += s.CostVecModAdd(2 * l * n)
-	t += s.CostRescale()
-	return t
-}
-
-// CostAutomorphism charges τ_t on `limbs` polynomial limbs, sharded:
-// the gather permutes each limb independently.
-func (s *ShardedCompiler) CostAutomorphism(limbs int) float64 {
-	dev := s.c0.Dev
-	return dev.Dispatch(tpusim.CatOther) +
-		dev.Gather(tpusim.CatPermutation, s.shard(limbs)*s.P.N())
-}
-
-// CostRotate charges a slot rotation: the limb-sharded automorphism on
-// both polynomials plus the sharded key switch.
-func (s *ShardedCompiler) CostRotate() float64 {
-	return s.CostAutomorphism(2*s.P.L) + s.CostKeySwitch()
-}
-
-// MeasureHEOps costs the four Tab. VIII operators on the pod,
-// trace-isolated.
-func (s *ShardedCompiler) MeasureHEOps() HEOpLatencies {
-	return HEOpLatencies{
-		Add:     s.Snapshot(s.CostHEAdd),
-		Mult:    s.Snapshot(s.CostHEMult),
-		Rescale: s.Snapshot(s.CostRescale),
-		Rotate:  s.Snapshot(s.CostRotate),
-	}
-}
-
-// Snapshot runs a costing closure without polluting the core-0 trace
-// or the pod's collective trace, returning only the simulated time.
-func (s *ShardedCompiler) Snapshot(f func() float64) float64 {
-	savedPod := s.Pod.Trace
-	s.Pod.Trace = tpusim.NewTrace()
-	defer func() { s.Pod.Trace = savedPod }()
-	return s.c0.Snapshot(f)
-}
-
-// CollectiveSeconds reports the ICI time accumulated in the pod trace.
-func (s *ShardedCompiler) CollectiveSeconds() float64 {
-	return s.Pod.Trace.Seconds(tpusim.CatICI)
+	return 0
 }

@@ -1,0 +1,49 @@
+package cross
+
+import "cross/internal/tpusim"
+
+// Target is the hardware a Compiler lowers onto: one simulated tensor
+// core (*tpusim.Device) or a multi-core slice (*tpusim.Pod). The
+// compiler's lowering is written once against this interface — work
+// shards across NumCores() and the collective methods price the
+// inter-chip synchronisation the mathematics demands. A bare device is
+// the 1-core degenerate case: every collective is free, so the lowering
+// reduces bit-exactly to the paper's single-core model.
+type Target interface {
+	// Core returns the representative tensor core. Schedules are SPMD
+	// over symmetric cores, so all compute is charged to this core's
+	// trace; the pod-level latency is core time plus collective time.
+	Core() *tpusim.Device
+
+	// NumCores reports how many cores share the work.
+	NumCores() int
+
+	// Name renders the target ("TPUv6e", "TPUv6e-4").
+	Name() string
+
+	// AllGather prices replicating a sharded buffer of `bytes` total
+	// size onto every core (ring algorithm; free on one core).
+	AllGather(bytes int64) float64
+
+	// AllReduce prices the element-wise reduction of per-core buffers
+	// of `bytes` each (reduce-scatter + all-gather ring phases).
+	AllReduce(bytes int64) float64
+
+	// Broadcast prices replicating `bytes` from one core to all others
+	// (binomial tree).
+	Broadcast(bytes int64) float64
+
+	// CollectiveTrace exposes the interconnect trace, or nil when the
+	// target has no interconnect (a bare device).
+	CollectiveTrace() *tpusim.Trace
+
+	// SetCollectiveTrace swaps the interconnect trace (no-op when
+	// CollectiveTrace is nil) — the hook trace-isolated costing uses.
+	SetCollectiveTrace(*tpusim.Trace)
+}
+
+// Both tpusim targets satisfy the interface.
+var (
+	_ Target = (*tpusim.Device)(nil)
+	_ Target = (*tpusim.Pod)(nil)
+)

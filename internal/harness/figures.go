@@ -101,7 +101,7 @@ func Fig13a() Report {
 			pp := p
 			pp.Red = alg
 			c := newCompiler(tpusim.TPUv6e(), pp)
-			lat[i] = c.Snapshot(func() float64 { return c.CostVecModMul(elems * b) })
+			lat[i] = c.LowerOp("VecModMul", func() float64 { return c.CostVecModMul(elems * b) }).Total
 		}
 		if !(lat[1] < lat[0] && lat[0] < lat[2] && lat[1] < lat[3]) {
 			montBest = false
@@ -125,7 +125,7 @@ func Fig13b() Report {
 		var lat [4]float64
 		for i, alg := range algs {
 			c := newCompiler(tpusim.TPUv6e(), p)
-			lat[i] = c.Snapshot(func() float64 { return c.CostNTTMatWithRed(b, alg) })
+			lat[i] = c.LowerOp("NTT-ablation", func() float64 { return c.CostNTTMatWithRed(b, alg) }).Total
 		}
 		if b > 1 && !(lat[1] <= lat[0] && lat[0] <= lat[2]) {
 			montBest = false

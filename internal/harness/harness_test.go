@@ -41,6 +41,30 @@ func TestReportByID(t *testing.T) {
 	}
 }
 
+func TestReportByIDUnknownHandling(t *testing.T) {
+	// Unknown identifiers — including near-misses, empty strings, and
+	// normalisation edge cases — must return ok=false and a zero
+	// Report, never panic or fuzzy-match.
+	for _, id := range []string{"", "table", "Table", "V", "Table VZ", "fig", "  ", "Core", "scaling core"} {
+		r, ok := ReportByID(id)
+		if ok {
+			t.Errorf("ReportByID(%q) unexpectedly found %q", id, r.ID)
+			continue
+		}
+		if r.ID != "" || r.Title != "" || r.Body != "" || r.Notes != "" {
+			t.Errorf("ReportByID(%q): non-zero report on miss: %+v", id, r)
+		}
+	}
+	// Normalisation strips spaces and dots but must not ignore other
+	// characters.
+	if _, ok := ReportByID("Table. V"); !ok {
+		t.Error("dot/space normalisation regressed")
+	}
+	if _, ok := ReportByID("Table-V"); ok {
+		t.Error("hyphenated ID should not match")
+	}
+}
+
 func TestTableFormatting(t *testing.T) {
 	tb := newTable("a", "bb")
 	tb.row("1", "2")

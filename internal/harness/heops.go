@@ -63,23 +63,15 @@ func naIfZero(v float64) string {
 }
 
 // Fig12 regenerates the latency breakdown of HE-Mult and Rotate on one
-// TPUv6e tensor core under Set D.
+// TPUv6e tensor core under Set D — straight off the Schedule IR's
+// per-category trace.
 func Fig12() Report {
 	var body string
 	vecDominant := true
-	for _, op := range []struct {
-		name string
-		run  func(c *cross.Compiler) float64
-	}{
-		{"HE-Mult", func(c *cross.Compiler) float64 { return c.CostHEMult() }},
-		{"Rotate", func(c *cross.Compiler) float64 { return c.CostRotate() }},
-	} {
-		c := newCompiler(tpusim.TPUv6e(), cross.SetD())
-		c.Dev.Trace.Reset()
-		op.run(c)
-		body += op.name + ":\n" + c.Dev.Trace.Breakdown() + "\n"
-		tr := c.Dev.Trace
-		if tr.Seconds(tpusim.CatVecModOps) < tr.Seconds(tpusim.CatNTTMatMul) {
+	c := newCompiler(tpusim.TPUv6e(), cross.SetD())
+	for _, sched := range []*cross.Schedule{c.LowerHEMult(), c.LowerRotate()} {
+		body += sched.Op + ":\n" + sched.Breakdown() + "\n"
+		if sched.Seconds(tpusim.CatVecModOps) < sched.Seconds(tpusim.CatNTTMatMul) {
 			vecDominant = false
 		}
 	}
@@ -102,7 +94,7 @@ func TableIX() Report {
 		c := newCompiler(vm.Spec, cross.SetD())
 		// MAD's BSGS transforms hoist the rotation decompositions; the
 		// baby-step groups share ~8 rotations per decomposition.
-		lat := c.Snapshot(func() float64 { return c.CostBootstrapHoisted(sched, 8) })
+		lat := c.LowerBootstrapHoisted(sched, 8).Total
 		amort := vm.AmortizedLatency(lat) * 1e3
 		if vm.Spec.Name == "TPUv6e" {
 			v6e = amort

@@ -92,9 +92,10 @@ func geomean(vals ...float64) float64 {
 	return math.Pow(prod, 1/float64(n))
 }
 
-// newCompiler builds a compiler or panics (harness-internal misuse).
+// newCompiler builds a single-core compiler or panics
+// (harness-internal misuse).
 func newCompiler(spec tpusim.Spec, p cross.Params) *cross.Compiler {
-	c, err := cross.New(tpusim.NewDevice(spec), p)
+	c, err := cross.Compile(tpusim.NewDevice(spec), p)
 	if err != nil {
 		panic(fmt.Sprintf("harness: %v", err))
 	}
@@ -102,17 +103,18 @@ func newCompiler(spec tpusim.Spec, p cross.Params) *cross.Compiler {
 }
 
 // bestSplit sweeps the paper's (R,C) candidates and returns the
-// compiler with the fastest HE-Mult (§V-A: "we sweep three (R,C)
-// configurations and report results using the best-performing one").
+// compiler whose HE-Mult schedule is fastest (§V-A: "we sweep three
+// (R,C) configurations and report results using the best-performing
+// one").
 func bestSplit(spec tpusim.Spec, p cross.Params) *cross.Compiler {
 	best := newCompiler(spec, p)
-	bestT := best.Snapshot(best.CostHEMult)
+	bestT := best.LowerHEMult().Total
 	for _, rc := range p.SplitCandidates() {
-		cand, err := cross.New(tpusim.NewDevice(spec), p.WithSplit(rc[0], rc[1]))
+		cand, err := cross.Compile(tpusim.NewDevice(spec), p.WithSplit(rc[0], rc[1]))
 		if err != nil {
 			continue
 		}
-		if t := cand.Snapshot(cand.CostHEMult); t < bestT {
+		if t := cand.LowerHEMult().Total; t < bestT {
 			best, bestT = cand, t
 		}
 	}

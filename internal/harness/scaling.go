@@ -39,17 +39,16 @@ func coreScalingOn(spec tpusim.Spec) Report {
 			if err != nil {
 				panic(fmt.Sprintf("harness: %v", err))
 			}
-			sc, err := cross.NewSharded(pod, p)
+			// One Compile call covers every pod size: the pod is just
+			// another Target, and the Schedule carries the collective
+			// share as first-class metadata.
+			sc, err := cross.Compile(pod, p)
 			if err != nil {
 				panic(fmt.Sprintf("harness: %v", err))
 			}
-			var ici float64
-			mult := sc.Snapshot(func() float64 {
-				total := sc.CostHEMult()
-				ici = sc.CollectiveSeconds()
-				return total
-			})
-			ntt := sc.Snapshot(func() float64 { return sc.CostNTTMat(64) })
+			ms := sc.LowerHEMult()
+			mult, ici := ms.Total, ms.Collective
+			ntt := sc.LowerNTT(64).Total
 			if cores == 1 {
 				multBase, nttBase = mult, ntt
 			}

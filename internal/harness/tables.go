@@ -32,8 +32,8 @@ func TableV() Report {
 	t := newTable("H", "V", "W", "baseline µs", "BAT µs", "speedup", "paper speedup")
 	allWin := true
 	for _, row := range paperTableV {
-		base := c.Snapshot(func() float64 { return c.CostMatModMulBaseline(row.H, row.V, row.W) })
-		bat := c.Snapshot(func() float64 { return c.CostMatModMulBAT(row.H, row.V, row.W) })
+		base := c.LowerOp("ModMatMul-baseline", func() float64 { return c.CostMatModMulBaseline(row.H, row.V, row.W) }).Total
+		bat := c.LowerOp("ModMatMul-BAT", func() float64 { return c.CostMatModMulBAT(row.H, row.V, row.W) }).Total
 		if bat >= base {
 			allWin = false
 		}
@@ -66,8 +66,8 @@ func TableVI() Report {
 	t := newTable("limbs l", "limbs l'", "baseline µs", "BAT µs", "speedup", "paper speedup")
 	ok := true
 	for _, row := range paperTableVI {
-		base := c.Snapshot(func() float64 { return c.CostBConv(n, row.L, row.LOut, false) })
-		bat := c.Snapshot(func() float64 { return c.CostBConv(n, row.L, row.LOut, true) })
+		base := c.LowerBConv(n, row.L, row.LOut, false).Total
+		bat := c.LowerBConv(n, row.L, row.LOut, true).Total
 		if bat >= base {
 			ok = false
 		}
@@ -144,8 +144,8 @@ func TableX() Report {
 		p.R = row.R
 		p.C = n / row.R
 		c := newCompiler(tpusim.TPUv4(), p)
-		radix2 := c.Snapshot(func() float64 { return c.CostNTTRadix2(128) })
-		mat := c.Snapshot(func() float64 { return c.CostNTTMat(128) })
+		radix2 := c.LowerOp("NTT-radix2", func() float64 { return c.CostNTTRadix2(128) }).Total
+		mat := c.LowerNTT(128).Total
 		if radix2/mat < 5 {
 			ok = false
 		}

@@ -17,6 +17,43 @@ func NewDevice(spec Spec) *Device {
 	return &Device{Spec: spec, Trace: NewTrace()}
 }
 
+// --- Target face ---
+//
+// A Device is the degenerate one-core lowering target: it satisfies the
+// same method set as Pod (cross.Target), with every collective free and
+// chargeless. This is what lets one compiler code path lower onto cores
+// and pods alike — a 1-core pod and a bare device are bit-identical.
+
+// Core returns the device itself: a single tensor core is its own
+// representative core.
+func (d *Device) Core() *Device { return d }
+
+// NumCores reports the core count of the target (always 1).
+func (d *Device) NumCores() int { return 1 }
+
+// Name renders the target name ("TPUv6e").
+func (d *Device) Name() string { return d.Spec.Name }
+
+// AllGather is free on a single core (nothing to gather across).
+func (d *Device) AllGather(bytes int64) float64 { return 0 }
+
+// AllReduce is free on a single core.
+func (d *Device) AllReduce(bytes int64) float64 { return 0 }
+
+// Broadcast is free on a single core.
+func (d *Device) Broadcast(bytes int64) float64 { return 0 }
+
+// CollectiveTrace reports the interconnect trace; a bare core has no
+// interconnect, so there is nothing to trace.
+func (d *Device) CollectiveTrace() *Trace { return nil }
+
+// SetCollectiveTrace is a no-op: a bare core has no collective trace to
+// swap (see Pod.SetCollectiveTrace).
+func (d *Device) SetCollectiveTrace(*Trace) {}
+
+// Reset clears the device trace.
+func (d *Device) Reset() { d.Trace.Reset() }
+
 // ceilDiv rounds the quotient up.
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 

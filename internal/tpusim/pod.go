@@ -59,6 +59,23 @@ func MustPod(spec Spec, cores int) *Pod {
 // NumCores returns the core count.
 func (p *Pod) NumCores() int { return len(p.Cores) }
 
+// Core returns the representative tensor core (core 0). The pod's
+// schedules are SPMD over symmetric cores, so core 0's trace stands for
+// every core's compute time.
+func (p *Pod) Core() *Device {
+	if p == nil || len(p.Cores) == 0 {
+		return nil
+	}
+	return p.Cores[0]
+}
+
+// CollectiveTrace exposes the pod's interconnect (ICI) trace.
+func (p *Pod) CollectiveTrace() *Trace { return p.Trace }
+
+// SetCollectiveTrace swaps the interconnect trace — used by the
+// compiler to cost schedules without polluting the live trace.
+func (p *Pod) SetCollectiveTrace(t *Trace) { p.Trace = t }
+
 // Name renders the slice naming ("TPUv6e-4").
 func (p *Pod) Name() string { return fmt.Sprintf("%s-%d", p.Spec.Name, len(p.Cores)) }
 

@@ -41,17 +41,24 @@ func (o OpCounts) Total() int {
 	return o.Mults + o.PtMuls + o.Adds + o.PtAdds + o.Rotates + o.Rescales
 }
 
-// EstimateLatency prices the schedule on a compiler (one tensor core),
-// §V-A style.
+// Program composes the operator counts into a cross.Program on the
+// compiler's target — the one lowering artifact every estimator and
+// report shares. Step order is fixed (Mults, PtMuls, Adds, PtAdds,
+// Rotates, Rescales) so estimates are reproducible bit-for-bit.
+func (o OpCounts) Program(c *cross.Compiler) *cross.Program {
+	return cross.NewProgram(c).
+		HEMultN(o.Mults).
+		PtMulN(o.PtMuls).
+		HEAddN(o.Adds).
+		PtAddN(o.PtAdds).
+		RotateN(1, o.Rotates).
+		RescaleN(o.Rescales)
+}
+
+// EstimateLatency prices the schedule on a compiler's target, §V-A
+// style (kernel invocations × per-operator schedule, no fusion).
 func EstimateLatency(c *cross.Compiler, o OpCounts) float64 {
-	var t float64
-	t += float64(o.Mults) * c.Snapshot(c.CostHEMult)
-	t += float64(o.PtMuls) * c.Snapshot(func() float64 { return c.CostPtMul() })
-	t += float64(o.Adds) * c.Snapshot(c.CostHEAdd)
-	t += float64(o.PtAdds) * c.Snapshot(func() float64 { return c.CostPtAdd() })
-	t += float64(o.Rotates) * c.Snapshot(c.CostRotate)
-	t += float64(o.Rescales) * c.Snapshot(c.CostRescale)
-	return t
+	return o.Program(c).Lower().Total
 }
 
 // ConvLayer describes one HE convolution lowered with the standard
@@ -157,17 +164,23 @@ func MNISTParams() cross.Params {
 // MNISTBatch is the evaluation batch size (images per run, §V-D).
 const MNISTBatch = 64
 
-// EstimateMNIST returns the batch-64 total and the amortised per-image
-// latency on the compiler's device. One 3×32×32 image fills a 2^12-slot
-// ciphertext, so the schedule runs once per image; batching amortises
-// parameter residency but not operator work (§V-D reports the amortised
-// per-image number).
-func EstimateMNIST(c *cross.Compiler) (total, perImage float64) {
+// MNISTProgram composes the full CNN schedule into one cross.Program
+// (per-image; chain .Batch(MNISTBatch) for the evaluation batch).
+func MNISTProgram(c *cross.Compiler) *cross.Program {
 	var counts OpCounts
 	for _, l := range MNISTNetwork() {
 		counts.Add(l)
 	}
-	perImage = EstimateLatency(c, counts)
+	return counts.Program(c)
+}
+
+// EstimateMNIST returns the batch-64 total and the amortised per-image
+// latency on the compiler's target. One 3×32×32 image fills a
+// 2^12-slot ciphertext, so the schedule runs once per image; batching
+// amortises parameter residency but not operator work (§V-D reports
+// the amortised per-image number).
+func EstimateMNIST(c *cross.Compiler) (total, perImage float64) {
+	perImage = MNISTProgram(c).Lower().Total
 	return perImage * MNISTBatch, perImage
 }
 
@@ -195,9 +208,15 @@ func HELRSchedule(features int) OpCounts {
 // HELRFeatures is the 14×14-pixel MNIST feature count of [30].
 const HELRFeatures = 196
 
-// EstimateHELR returns the per-iteration latency on one tensor core.
+// HELRProgram composes one HELR training iteration into a Program.
+func HELRProgram(c *cross.Compiler) *cross.Program {
+	return HELRSchedule(HELRFeatures).Program(c)
+}
+
+// EstimateHELR returns the per-iteration latency on the compiler's
+// target.
 func EstimateHELR(c *cross.Compiler) float64 {
-	return EstimateLatency(c, HELRSchedule(HELRFeatures))
+	return HELRProgram(c).Lower().Total
 }
 
 // Describe renders an operator-count summary.
