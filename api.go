@@ -24,6 +24,11 @@
 //   - Experiments layer: Experiment/AllExperiments regenerate every
 //     table and figure of the paper's §V with paper-vs-measured rows,
 //     plus the beyond-paper core-count scaling sweep.
+//   - Sweep layer: Sweep lowers the full {param set × TPU spec × pod
+//     size × workload} cross-product on a worker pool and emits
+//     deterministic records; SweepDiff classifies regressions against
+//     a committed baseline — the CI perf gate (crossbench -sweep /
+//     -compare).
 //
 // See DESIGN.md (§ "Schedule IR & Targets") for the system inventory
 // and EXPERIMENTS.md for the reproduction results.
@@ -39,6 +44,7 @@ import (
 	"cross/internal/mat"
 	"cross/internal/modarith"
 	"cross/internal/ring"
+	"cross/internal/sweep"
 	"cross/internal/tpusim"
 	"cross/internal/workload"
 )
@@ -359,6 +365,37 @@ func ExperimentByID(id string) (Experiment, error) {
 
 // ExperimentIDs lists the available experiment identifiers.
 func ExperimentIDs() []string { return harness.IDs() }
+
+// ---- Sweep / perf-gating layer ----
+
+// SweepConfig selects the sweep axes (parameter sets, TPU specs, pod
+// core counts, workloads) and the worker-pool width; the zero value is
+// the full cross-product at NumCPU workers.
+type SweepConfig = sweep.Config
+
+// SweepRecord is one sweep data point: a workload lowered onto one pod
+// configuration, with modeled latency, collective share, and kernel
+// counts. Its JSON encoding is the stable schema BENCH_baseline.json
+// and the CI perf gate diff on.
+type SweepRecord = sweep.Record
+
+// SweepDiffResult is the classified old-vs-new comparison of two
+// sweeps (regressions, improvements, coverage drift).
+type SweepDiffResult = sweep.DiffResult
+
+// Sweep lowers the configured cross-product concurrently and returns
+// deterministic, stably-ordered records — bit-identical at every
+// parallelism (the parallel run is tested byte-equal to the serial
+// one).
+func Sweep(cfg SweepConfig) ([]SweepRecord, error) { return sweep.Run(cfg) }
+
+// SweepDiff compares two sweeps record-by-record and classifies each
+// latency change against the fractional threshold (0.005 = 0.5%, the
+// CI gate's default). The result's HasRegressions is the gate
+// condition crossbench -compare exits non-zero on.
+func SweepDiff(old, new []SweepRecord, threshold float64) SweepDiffResult {
+	return sweep.Diff(old, new, threshold)
+}
 
 // EstimateMNIST estimates the §V-D MNIST CNN latency on a compiler.
 func EstimateMNIST(c *Compiler) (total, perImage float64) {

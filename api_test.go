@@ -250,6 +250,56 @@ func TestProgramFacade(t *testing.T) {
 	}
 }
 
+func TestSweepFacade(t *testing.T) {
+	recs, err := Sweep(SweepConfig{
+		Sets:     []string{"A", "D"},
+		Specs:    []string{"TPUv6e"},
+		Cores:    []int{1, 4},
+		Parallel: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2 * 5; len(recs) != want {
+		t.Fatalf("got %d records, want %d", len(recs), want)
+	}
+	// The sweep's single-workload records agree exactly with a direct
+	// lowering on an equivalent target.
+	pod, err := NewPod(TPUv6e(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(pod, SetD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.LowerHEMult().Total
+	found := false
+	for _, r := range recs {
+		if r.ID == "SetD/TPUv6e-4/HE-Mult" {
+			found = true
+			if r.TotalS != want {
+				t.Errorf("sweep HE-Mult %g != direct lowering %g", r.TotalS, want)
+			}
+		}
+	}
+	if !found {
+		t.Error("SetD/TPUv6e-4/HE-Mult missing from sweep")
+	}
+
+	// SweepDiff: +1% injected latency gates, −1% reports improvement.
+	bumped := append([]SweepRecord(nil), recs...)
+	bumped[0].TotalS *= 1.01
+	bumped[1].TotalS *= 0.99
+	d := SweepDiff(recs, bumped, 0.005)
+	if !d.HasRegressions() || len(d.Regressions) != 1 || d.Regressions[0].ID != recs[0].ID {
+		t.Errorf("+1%% not gated: %+v", d.Regressions)
+	}
+	if len(d.Improvements) != 1 || d.Improvements[0].ID != recs[1].ID {
+		t.Errorf("−1%% not reported as improvement: %+v", d.Improvements)
+	}
+}
+
 func TestWorkloadFacade(t *testing.T) {
 	c, err := NewCompiler(NewDevice(TPUv6e()), MNISTParams())
 	if err != nil {

@@ -1,6 +1,9 @@
 // Command crossbench regenerates the paper's evaluation section: every
 // table and figure of §V, with paper-reported values printed next to
-// the reproduction's measurements.
+// the reproduction's measurements. It is also the repo's perf oracle:
+// -sweep lowers the full {param set × TPU spec × pod size × workload}
+// cross-product in parallel, and -compare diffs a fresh sweep against a
+// committed baseline, exiting non-zero on regression (the CI gate).
 //
 // Usage:
 //
@@ -9,12 +12,18 @@
 //	crossbench -experiment id  # run one experiment ("Table V", "fig11b", …)
 //	crossbench -scaling        # pod core-count scaling sweep (1/2/4/8 cores)
 //	crossbench -scaling -device TPUv5p
+//	crossbench -sweep -parallel 8 -json       # full sweep, machine-readable
+//	crossbench -compare BENCH_baseline.json   # fresh sweep vs baseline; exit 1 on regression
+//	crossbench -compare BENCH_baseline.json -threshold 0.01
+//	crossbench -compare BENCH_baseline.json -out sweep.json  # keep the fresh sweep too
 //	crossbench -json [...]     # machine-readable output (any mode)
 //
 // With -json the tool emits JSON instead of the formatted tables:
-// -list prints a string array of identifiers; every other mode prints
-// Report objects ({"ID","Title","Body","Notes"}) — the feed for
-// bench-trajectory tracking.
+// -list prints a string array of identifiers; -sweep prints the sweep
+// records (deterministic and stably ordered — bit-identical at every
+// -parallel value, so the output is committable as a baseline);
+// -compare prints the classified diff; every other mode prints Report
+// objects ({"ID","Title","Body","Notes"}).
 //
 // Run with: go run ./cmd/crossbench [flags]
 package main
@@ -39,27 +48,141 @@ func emitJSON(v any) {
 	}
 }
 
+// writeSweep writes records to path with the exact encoding of
+// -sweep -json on stdout, so the file is committable as a baseline.
+func writeSweep(path string, recs []cross.SweepRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readBaseline loads a committed sweep (BENCH_baseline.json).
+func readBaseline(path string) ([]cross.SweepRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []cross.SweepRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%s holds no sweep records", path)
+	}
+	return recs, nil
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
 	experiment := flag.String("experiment", "", "run a single experiment by identifier")
 	scaling := flag.Bool("scaling", false, "run only the pod core-count scaling sweep")
 	device := flag.String("device", "TPUv6e", "TPU generation for -scaling (TPUv4, TPUv5e, TPUv5p, TPUv6e)")
+	sweepMode := flag.Bool("sweep", false, "run the full cross-product perf sweep")
+	compare := flag.String("compare", "", "run a fresh sweep and diff it against a baseline sweep JSON file; exit 1 on regression")
+	parallel := flag.Int("parallel", 0, "sweep worker count (0 = NumCPU); output is identical at every value")
+	threshold := flag.Float64("threshold", 0.005, "fractional regression threshold for -compare (0.005 = 0.5%)")
+	out := flag.String("out", "", "also write the fresh sweep JSON to this file (-sweep or -compare); lets CI keep the sweep artifact without running the sweep twice")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of formatted tables")
 	flag.Parse()
 
-	deviceSet := false
+	deviceSet, thresholdSet, parallelSet, outSet := false, false, false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "device" {
+		switch f.Name {
+		case "device":
 			deviceSet = true
+		case "threshold":
+			thresholdSet = true
+		case "parallel":
+			parallelSet = true
+		case "out":
+			outSet = true
 		}
 	})
-	if *scaling && (*list || *experiment != "") {
-		fmt.Fprintln(os.Stderr, "crossbench: -scaling cannot be combined with -list or -experiment")
+	exclusive := 0
+	for _, on := range []bool{*scaling, *sweepMode, *compare != "", *list, *experiment != ""} {
+		if on {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		fmt.Fprintln(os.Stderr, "crossbench: -scaling, -sweep, -compare, -list and -experiment are mutually exclusive")
 		os.Exit(1)
 	}
 	if deviceSet && !*scaling {
 		fmt.Fprintln(os.Stderr, "crossbench: -device only applies to -scaling")
 		os.Exit(1)
+	}
+	if thresholdSet && *compare == "" {
+		fmt.Fprintln(os.Stderr, "crossbench: -threshold only applies to -compare")
+		os.Exit(1)
+	}
+	if parallelSet && !*sweepMode && *compare == "" {
+		fmt.Fprintln(os.Stderr, "crossbench: -parallel only applies to -sweep and -compare")
+		os.Exit(1)
+	}
+	if outSet && !*sweepMode && *compare == "" {
+		fmt.Fprintln(os.Stderr, "crossbench: -out only applies to -sweep and -compare")
+		os.Exit(1)
+	}
+
+	if *sweepMode {
+		recs, err := cross.Sweep(cross.SweepConfig{Parallel: *parallel})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crossbench:", err)
+			os.Exit(1)
+		}
+		if *out != "" {
+			if err := writeSweep(*out, recs); err != nil {
+				fmt.Fprintln(os.Stderr, "crossbench:", err)
+				os.Exit(1)
+			}
+		}
+		if *asJSON {
+			emitJSON(recs)
+			return
+		}
+		for _, r := range recs {
+			fmt.Printf("%-32s %12.4g s  (collective %.4g s, %d kernel launches)\n",
+				r.ID, r.TotalS, r.CollectiveS, r.Kernels.Total())
+		}
+		return
+	}
+
+	if *compare != "" {
+		baseline, err := readBaseline(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crossbench:", err)
+			os.Exit(1)
+		}
+		recs, err := cross.Sweep(cross.SweepConfig{Parallel: *parallel})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crossbench:", err)
+			os.Exit(1)
+		}
+		if *out != "" {
+			if err := writeSweep(*out, recs); err != nil {
+				fmt.Fprintln(os.Stderr, "crossbench:", err)
+				os.Exit(1)
+			}
+		}
+		diff := cross.SweepDiff(baseline, recs, *threshold)
+		if *asJSON {
+			emitJSON(diff)
+		} else {
+			fmt.Print(diff.Summary())
+		}
+		if diff.HasRegressions() {
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *scaling {

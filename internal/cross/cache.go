@@ -1,0 +1,63 @@
+package cross
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ScheduleCache memoizes lowered Schedules across compilers, programs,
+// and goroutines — the shared cache behind the sweep engine's worker
+// pool. A Schedule is a pure function of (target name, parameter set,
+// operator), so a cached artifact is bit-identical to a fresh lowering
+// on an equivalent target and sharing it across workers cannot change
+// results, only skip work.
+//
+// Concurrency: the map is mutex-guarded and each entry lowers exactly
+// once (sync.Once), so two workers racing on the same key do the work
+// once and both observe the same *Schedule. Distinct keys lower
+// concurrently — the per-entry Once is taken outside the map lock.
+// Schedules must be treated as immutable once published (all package
+// code does).
+type ScheduleCache struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	s    *Schedule
+}
+
+// NewScheduleCache returns an empty cache.
+func NewScheduleCache() *ScheduleCache {
+	return &ScheduleCache{m: make(map[string]*cacheEntry)}
+}
+
+// GetOrLower returns the cached Schedule for key, lowering it with f on
+// the first request. Concurrent callers with the same key block until
+// the single lowering completes and then share its result.
+func (sc *ScheduleCache) GetOrLower(key string, f func() *Schedule) *Schedule {
+	sc.mu.Lock()
+	e, ok := sc.m[key]
+	if !ok {
+		e = &cacheEntry{}
+		sc.m[key] = e
+	}
+	sc.mu.Unlock()
+	e.once.Do(func() { e.s = f() })
+	return e.s
+}
+
+// Len reports the number of memoized schedules.
+func (sc *ScheduleCache) Len() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.m)
+}
+
+// scheduleKey renders the cache key of one operator lowering on one
+// compiler: target identity, full parameter set, operator. Params is a
+// flat comparable struct, so %+v is a stable, collision-free encoding.
+func scheduleKey(c *Compiler, op string) string {
+	return fmt.Sprintf("%s|%+v|%s", c.T.Name(), c.P, op)
+}

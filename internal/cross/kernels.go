@@ -1,6 +1,8 @@
 package cross
 
 import (
+	"sync"
+
 	"cross/internal/modarith"
 	"cross/internal/tpusim"
 )
@@ -54,6 +56,13 @@ type Compiler struct {
 	// field because most of the lowering charges it directly.
 	Dev *tpusim.Device
 	P   Params
+
+	// mu serialises LowerOp: a lowering swaps the live traces and the
+	// kernel tally in place, so concurrent Lower* calls on one compiler
+	// (sweep workers sharing a target) must not interleave. The
+	// deprecated Cost* methods remain unsynchronised when called
+	// directly — concurrent callers go through the Lower* face.
+	mu sync.Mutex
 
 	// tally counts kernel invocations for the Schedule IR.
 	tally KernelCounts

@@ -3,6 +3,7 @@ package cross
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"cross/internal/tpusim"
 )
@@ -22,7 +23,17 @@ type Program struct {
 	c     *Compiler
 	steps []progStep
 	batch int
-	memo  map[string]*Schedule
+
+	// mu guards memo: building a program is single-goroutine (the
+	// fluent builder is not synchronised), but Lower may be called
+	// concurrently — sweep workers share lowered programs.
+	mu   sync.Mutex
+	memo map[string]*Schedule
+
+	// cache, when set, is a process-wide schedule cache shared across
+	// programs and goroutines (WithCache); the local memo then only
+	// dedupes the key rendering.
+	cache *ScheduleCache
 }
 
 // progStep is one operator × repetition entry.
@@ -40,6 +51,15 @@ func NewProgram(c *Compiler) *Program {
 
 // Compiler returns the program's compiler.
 func (p *Program) Compiler() *Compiler { return p.c }
+
+// WithCache routes the program's per-operator memoization through a
+// shared ScheduleCache, so identical operators lowered by other
+// programs (or other sweep workers) on an equivalent target are reused
+// instead of re-lowered. Returns the program for chaining.
+func (p *Program) WithCache(sc *ScheduleCache) *Program {
+	p.cache = sc
+	return p
+}
 
 // append records count repetitions of one operator (no-op for count ≤ 0).
 func (p *Program) append(key, label string, count int, f func() *Schedule) *Program {
@@ -148,12 +168,22 @@ func (p *Program) OpCount() int {
 	return n * p.batch
 }
 
-// sched returns the memoized schedule for one step.
+// sched returns the memoized schedule for one step. Safe for
+// concurrent Lower calls: the local memo is mutex-guarded and held
+// through the lowering, so each distinct operator lowers once per
+// program (or once per process with a shared cache).
 func (p *Program) sched(st progStep) *Schedule {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if s, ok := p.memo[st.key]; ok {
 		return s
 	}
-	s := st.lower()
+	var s *Schedule
+	if p.cache != nil {
+		s = p.cache.GetOrLower(scheduleKey(p.c, st.key), func() *Schedule { return st.lower() })
+	} else {
+		s = st.lower()
+	}
 	p.memo[st.key] = s
 	return s
 }

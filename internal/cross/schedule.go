@@ -14,16 +14,18 @@ var errNilTarget = errors.New("cross: lowering needs a target with at least one 
 
 // KernelCounts tallies the kernel invocations of one lowering — the
 // Schedule IR's op-count face. Counts are launches, not elements: one
-// batched NTT of 64 limbs is one NTT entry.
+// batched NTT of 64 limbs is one NTT entry. The JSON names are part of
+// the sweep-record schema (DESIGN.md §9) that BENCH_baseline.json and
+// the CI perf gate diff on — rename with care.
 type KernelCounts struct {
-	NTTs        int // batched MAT NTT launches
-	INTTs       int // batched MAT INTT launches
-	BConvs      int // basis conversions (step 1 + step 2)
-	MatMuls     int // standalone ModMatMul lowerings (Tab. V ablations)
-	VecMuls     int // element-wise modular multiplication launches
-	VecAdds     int // element-wise modular addition launches
-	Gathers     int // automorphism gathers (the permutation MAT cannot embed)
-	Collectives int // inter-core collectives (all-gather/all-reduce/broadcast)
+	NTTs        int `json:"ntts"`        // batched MAT NTT launches
+	INTTs       int `json:"intts"`       // batched MAT INTT launches
+	BConvs      int `json:"bconvs"`      // basis conversions (step 1 + step 2)
+	MatMuls     int `json:"matmuls"`     // standalone ModMatMul lowerings (Tab. V ablations)
+	VecMuls     int `json:"vecmuls"`     // element-wise modular multiplication launches
+	VecAdds     int `json:"vecadds"`     // element-wise modular addition launches
+	Gathers     int `json:"gathers"`     // automorphism gathers (the permutation MAT cannot embed)
+	Collectives int `json:"collectives"` // inter-core collectives (all-gather/all-reduce/broadcast)
 }
 
 // Total returns the overall kernel-launch count.
@@ -142,6 +144,13 @@ func (s *Schedule) String() string {
 // counts are captured. This is the generic escape hatch; the named
 // Lower* methods cover the standard operators.
 func (c *Compiler) LowerOp(op string, f func() float64) *Schedule {
+	// One lowering at a time per compiler: the trace swap and tally
+	// reset below are compiler-global state. Cost closures never call
+	// LowerOp back (they compose Cost* methods only), so the lock is
+	// not reentered.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
 	savedCompute := c.Dev.Trace
 	c.Dev.Trace = tpusim.NewTrace()
 	savedCollective := c.T.CollectiveTrace()

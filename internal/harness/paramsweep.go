@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 
 	"cross/internal/cross"
 	"cross/internal/tpusim"
@@ -46,9 +47,28 @@ func ParamSweep() Report {
 			us(ops.Mult), us(ops.Rotate))
 	}
 
-	notes := "latency grows with both the limb count and the digit number (§V-C-c) — more limbs mean more kernels, more digits mean more ModUp transforms"
-	if !limbMono || !dnumMono {
-		notes = "VIOLATED: latency not monotone in L or dnum"
+	return Report{
+		ID:    "Param Sweep",
+		Title: "Effects of security parameters (TPUv6e, §V-C-c)",
+		Body:  t.String(),
+		Notes: monotonicityNotes(limbMono, dnumMono),
 	}
-	return Report{ID: "Param Sweep", Title: "Effects of security parameters (TPUv6e, §V-C-c)", Body: t.String(), Notes: notes}
+}
+
+// monotonicityNotes renders the Param Sweep fidelity note. The two
+// sweep loops track monotonicity per knob, so a violation names the
+// knob (or knobs) that broke rather than collapsing both into one
+// undiagnosable string.
+func monotonicityNotes(limbMono, dnumMono bool) string {
+	if limbMono && dnumMono {
+		return "latency grows with both the limb count and the digit number (§V-C-c) — more limbs mean more kernels, more digits mean more ModUp transforms"
+	}
+	var broken []string
+	if !limbMono {
+		broken = append(broken, "the limb count L")
+	}
+	if !dnumMono {
+		broken = append(broken, "the digit number dnum")
+	}
+	return "VIOLATED: HE-Mult latency not monotone in " + strings.Join(broken, " nor in ")
 }

@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMonotonicityNotes: the Param Sweep violation note must name the
+// knob that broke monotonicity — the L-loop and dnum-loop track their
+// own flags, and the note must not collapse them into one
+// undiagnosable string.
+func TestMonotonicityNotes(t *testing.T) {
+	cases := []struct {
+		limbMono, dnumMono bool
+		wantSubstr         []string
+		wantAbsent         []string
+	}{
+		{true, true, []string{"grows with both"}, []string{"VIOLATED"}},
+		{false, true, []string{"VIOLATED", "limb count L"}, []string{"dnum"}},
+		{true, false, []string{"VIOLATED", "digit number dnum"}, []string{"limb count"}},
+		{false, false, []string{"VIOLATED", "limb count L", "digit number dnum"}, nil},
+	}
+	for _, tc := range cases {
+		got := monotonicityNotes(tc.limbMono, tc.dnumMono)
+		for _, want := range tc.wantSubstr {
+			if !strings.Contains(got, want) {
+				t.Errorf("monotonicityNotes(%v, %v) = %q: missing %q",
+					tc.limbMono, tc.dnumMono, got, want)
+			}
+		}
+		for _, absent := range tc.wantAbsent {
+			if strings.Contains(got, absent) {
+				t.Errorf("monotonicityNotes(%v, %v) = %q: wrongly names %q",
+					tc.limbMono, tc.dnumMono, got, absent)
+			}
+		}
+	}
+}
+
+// TestParamSweepHolds: the report itself stays green on the current
+// model (both knobs monotone).
+func TestParamSweepHolds(t *testing.T) {
+	r := ParamSweep()
+	if strings.Contains(r.Notes, "VIOLATED") {
+		t.Errorf("Param Sweep violated: %s", r.Notes)
+	}
+}

@@ -1,0 +1,127 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diffing turns the sweep into a perf-regression oracle: CI runs a
+// fresh sweep, diffs it against the committed BENCH_baseline.json, and
+// fails when any modeled latency regressed beyond the threshold
+// (DESIGN.md §9).
+
+// Delta is one record's old-vs-new comparison.
+type Delta struct {
+	ID    string  `json:"id"`
+	OldS  float64 `json:"old_s"`
+	NewS  float64 `json:"new_s"`
+	Rel   float64 `json:"rel"`   // NewS/OldS − 1 (signed fractional change)
+	Class string  `json:"class"` // "regression" | "improvement" | "unchanged"
+}
+
+// Delta classes.
+const (
+	ClassRegression  = "regression"
+	ClassImprovement = "improvement"
+	ClassUnchanged   = "unchanged"
+)
+
+// DiffResult is the classified comparison of two sweeps.
+type DiffResult struct {
+	Threshold    float64 `json:"threshold"`
+	Regressions  []Delta `json:"regressions"`  // slower than old by > threshold
+	Improvements []Delta `json:"improvements"` // faster than old by > threshold
+	Unchanged    int     `json:"unchanged"`    // within ± threshold
+
+	// Coverage drift: IDs present in only one sweep (axis added or
+	// removed). Not a gate failure by itself, but surfaced so a
+	// baseline refresh isn't silent.
+	OnlyInOld []string `json:"only_in_old,omitempty"`
+	OnlyInNew []string `json:"only_in_new,omitempty"`
+}
+
+// HasRegressions reports whether any latency regressed beyond the
+// threshold — the CI gate condition.
+func (d DiffResult) HasRegressions() bool { return len(d.Regressions) > 0 }
+
+// Summary renders a human-readable gate report.
+func (d DiffResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep diff @ threshold %.2f%%: %d regression(s), %d improvement(s), %d unchanged\n",
+		d.Threshold*100, len(d.Regressions), len(d.Improvements), d.Unchanged)
+	for _, r := range d.Regressions {
+		fmt.Fprintf(&b, "  REGRESSION  %-40s %.4g s → %.4g s (%+.2f%%)\n", r.ID, r.OldS, r.NewS, r.Rel*100)
+	}
+	for _, r := range d.Improvements {
+		fmt.Fprintf(&b, "  improvement %-40s %.4g s → %.4g s (%+.2f%%)\n", r.ID, r.OldS, r.NewS, r.Rel*100)
+	}
+	if len(d.OnlyInOld) > 0 {
+		fmt.Fprintf(&b, "  only in baseline: %v\n", d.OnlyInOld)
+	}
+	if len(d.OnlyInNew) > 0 {
+		fmt.Fprintf(&b, "  only in new sweep: %v\n", d.OnlyInNew)
+	}
+	return b.String()
+}
+
+// classify labels one old→new latency change against the threshold.
+func classify(oldS, newS, threshold float64) (rel float64, class string) {
+	switch {
+	case oldS == newS:
+		return 0, ClassUnchanged
+	case oldS == 0:
+		// A latency appearing from zero is unboundedly worse.
+		return 1, ClassRegression
+	}
+	rel = newS/oldS - 1
+	switch {
+	case rel > threshold:
+		return rel, ClassRegression
+	case rel < -threshold:
+		return rel, ClassImprovement
+	default:
+		return rel, ClassUnchanged
+	}
+}
+
+// Diff compares two sweeps record-by-record (matched on ID) and
+// classifies each total-latency change against the fractional
+// threshold (0.005 = 0.5%). Records appearing in only one sweep are
+// reported, not classified. Deltas preserve the new sweep's record
+// order, so the result is deterministic.
+func Diff(old, new []Record, threshold float64) DiffResult {
+	if threshold < 0 {
+		threshold = 0
+	}
+	d := DiffResult{Threshold: threshold}
+
+	oldByID := make(map[string]Record, len(old))
+	for _, r := range old {
+		oldByID[r.ID] = r
+	}
+	seen := make(map[string]bool, len(new))
+	for _, r := range new {
+		seen[r.ID] = true
+		o, ok := oldByID[r.ID]
+		if !ok {
+			d.OnlyInNew = append(d.OnlyInNew, r.ID)
+			continue
+		}
+		rel, class := classify(o.TotalS, r.TotalS, threshold)
+		delta := Delta{ID: r.ID, OldS: o.TotalS, NewS: r.TotalS, Rel: rel, Class: class}
+		switch class {
+		case ClassRegression:
+			d.Regressions = append(d.Regressions, delta)
+		case ClassImprovement:
+			d.Improvements = append(d.Improvements, delta)
+		default:
+			d.Unchanged++
+		}
+	}
+	for _, r := range old {
+		if !seen[r.ID] {
+			d.OnlyInOld = append(d.OnlyInOld, r.ID)
+		}
+	}
+	return d
+}

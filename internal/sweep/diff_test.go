@@ -1,0 +1,134 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+)
+
+// rec builds a minimal record for diff tests.
+func rec(id string, total float64) Record {
+	return Record{ID: id, TotalS: total}
+}
+
+// TestDiffClassification is the gate's acceptance check: an injected
+// +1% latency is flagged as a regression and a −1% is reported as an
+// improvement at the CI threshold of 0.5%.
+func TestDiffClassification(t *testing.T) {
+	const threshold = 0.005
+	old := []Record{
+		rec("SetD/TPUv6e-1/HE-Mult", 100e-6),
+		rec("SetD/TPUv6e-1/Rotate", 50e-6),
+		rec("SetD/TPUv6e-1/MNIST", 2e-3),
+	}
+	newer := []Record{
+		rec("SetD/TPUv6e-1/HE-Mult", 101e-6), // +1% → regression
+		rec("SetD/TPUv6e-1/Rotate", 49.5e-6), // −1% → improvement
+		rec("SetD/TPUv6e-1/MNIST", 2e-3),     // unchanged
+	}
+
+	d := Diff(old, newer, threshold)
+	if !d.HasRegressions() {
+		t.Fatal("+1% latency not flagged as regression")
+	}
+	if len(d.Regressions) != 1 || d.Regressions[0].ID != "SetD/TPUv6e-1/HE-Mult" {
+		t.Errorf("regressions = %+v, want exactly the +1%% record", d.Regressions)
+	}
+	if got := d.Regressions[0].Rel; math.Abs(got-0.01) > 1e-9 {
+		t.Errorf("regression rel = %g, want 0.01", got)
+	}
+	if len(d.Improvements) != 1 || d.Improvements[0].ID != "SetD/TPUv6e-1/Rotate" {
+		t.Errorf("improvements = %+v, want exactly the −1%% record", d.Improvements)
+	}
+	if got := d.Improvements[0].Rel; math.Abs(got+0.01) > 1e-9 {
+		t.Errorf("improvement rel = %g, want −0.01", got)
+	}
+	if d.Unchanged != 1 {
+		t.Errorf("unchanged = %d, want 1", d.Unchanged)
+	}
+}
+
+// TestDiffThresholdBoundary: drift within ±threshold is unchanged;
+// beyond it is classified.
+func TestDiffThresholdBoundary(t *testing.T) {
+	const threshold = 0.005
+	cases := []struct {
+		name  string
+		newS  float64
+		class string
+	}{
+		{"well within", 100.2e-6, ClassUnchanged},
+		{"exactly at threshold", 100.5e-6, ClassUnchanged}, // gate is strict >
+		{"just beyond", 100.6e-6, ClassRegression},
+		{"faster within", 99.6e-6, ClassUnchanged},
+		{"faster beyond", 99.4e-6, ClassImprovement},
+	}
+	for _, tc := range cases {
+		d := Diff([]Record{rec("x", 100e-6)}, []Record{rec("x", tc.newS)}, threshold)
+		var got string
+		switch {
+		case len(d.Regressions) == 1:
+			got = ClassRegression
+		case len(d.Improvements) == 1:
+			got = ClassImprovement
+		case d.Unchanged == 1:
+			got = ClassUnchanged
+		}
+		if got != tc.class {
+			t.Errorf("%s (%.4g): classified %q, want %q", tc.name, tc.newS, got, tc.class)
+		}
+	}
+}
+
+// TestDiffCoverageDrift: IDs on one side only are surfaced, not
+// classified, and never gate.
+func TestDiffCoverageDrift(t *testing.T) {
+	old := []Record{rec("kept", 1), rec("removed", 1)}
+	newer := []Record{rec("kept", 1), rec("added", 1)}
+	d := Diff(old, newer, 0.005)
+	if d.HasRegressions() {
+		t.Error("coverage drift must not gate")
+	}
+	if len(d.OnlyInOld) != 1 || d.OnlyInOld[0] != "removed" {
+		t.Errorf("OnlyInOld = %v", d.OnlyInOld)
+	}
+	if len(d.OnlyInNew) != 1 || d.OnlyInNew[0] != "added" {
+		t.Errorf("OnlyInNew = %v", d.OnlyInNew)
+	}
+	if d.Unchanged != 1 {
+		t.Errorf("unchanged = %d, want 1", d.Unchanged)
+	}
+}
+
+// TestDiffZeroBaseline: a latency appearing from zero is a regression
+// (guards against a hollowed-out baseline silently passing).
+func TestDiffZeroBaseline(t *testing.T) {
+	d := Diff([]Record{rec("x", 0)}, []Record{rec("x", 1e-6)}, 0.005)
+	if !d.HasRegressions() {
+		t.Error("0 → 1µs not flagged")
+	}
+	d = Diff([]Record{rec("x", 0)}, []Record{rec("x", 0)}, 0.005)
+	if d.HasRegressions() || d.Unchanged != 1 {
+		t.Error("0 → 0 must be unchanged")
+	}
+}
+
+// TestDiffRealSweepSelfCompare: a sweep diffed against itself is clean
+// — the no-change CI run goes green.
+func TestDiffRealSweepSelfCompare(t *testing.T) {
+	recs, err := Run(Config{
+		Sets:     []string{"A", "C"},
+		Specs:    []string{"TPUv6e"},
+		Cores:    []int{1, 8},
+		Parallel: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(recs, recs, 0.005)
+	if d.HasRegressions() || len(d.Improvements) != 0 || len(d.OnlyInOld) != 0 || len(d.OnlyInNew) != 0 {
+		t.Errorf("self-compare not clean: %s", d.Summary())
+	}
+	if d.Unchanged != len(recs) {
+		t.Errorf("unchanged = %d, want %d", d.Unchanged, len(recs))
+	}
+}

@@ -1,0 +1,218 @@
+// Package sweep is the repo's scale-and-regression harness: a
+// worker-pool engine that lowers the full cross-product of
+// {parameter sets × TPU generations × pod core counts × workloads}
+// concurrently and emits deterministic, stably-ordered records — the
+// machine-readable perf surface CI diffs on every push (DESIGN.md §9).
+//
+// Determinism contract: a Record is a pure function of its case (the
+// simulator is analytic — no clocks, no sampling), cases are
+// enumerated in a fixed nested order, and workers write results by
+// case index. The JSON encoding of a sweep is therefore bit-identical
+// at any parallelism, which is what lets BENCH_baseline.json act as a
+// perf-regression oracle: any byte-level drift in a latency is a real
+// model change, not scheduling noise.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cross/internal/cross"
+	"cross/internal/tpusim"
+	"cross/internal/workload"
+)
+
+// Workload names the sweep's workload axis. HE-Mult/Rotate/Bootstrap
+// are single-operator programs; MNIST and HELR are the §V-D ML
+// schedules.
+const (
+	WorkloadHEMult    = "HE-Mult"
+	WorkloadRotate    = "Rotate"
+	WorkloadBootstrap = "Bootstrap"
+	WorkloadMNIST     = "MNIST"
+	WorkloadHELR      = "HELR"
+)
+
+// DefaultCores is the pod-size axis of the full sweep.
+var DefaultCores = []int{1, 2, 4, 8, 16}
+
+// DefaultWorkloads lists every workload in report order.
+var DefaultWorkloads = []string{
+	WorkloadHEMult, WorkloadRotate, WorkloadBootstrap, WorkloadMNIST, WorkloadHELR,
+}
+
+// DefaultSets lists the paper's parameter sets (Tab. IV).
+var DefaultSets = []string{"A", "B", "C", "D"}
+
+// Config selects the sweep axes and the worker-pool width. Zero-value
+// fields take the full default axis, so Config{} is the whole
+// cross-product at Parallel = NumCPU.
+type Config struct {
+	Sets      []string `json:"sets,omitempty"`      // parameter sets ("A".."D")
+	Specs     []string `json:"specs,omitempty"`     // TPU generations (tpusim names)
+	Cores     []int    `json:"cores,omitempty"`     // pod core counts
+	Workloads []string `json:"workloads,omitempty"` // workload names
+
+	// Parallel is the worker count; ≤ 0 means runtime.NumCPU().
+	// Output is bit-identical at every value (tested).
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// withDefaults fills empty axes.
+func (cfg Config) withDefaults() Config {
+	if len(cfg.Sets) == 0 {
+		cfg.Sets = DefaultSets
+	}
+	if len(cfg.Specs) == 0 {
+		for _, s := range tpusim.AllSpecs() {
+			cfg.Specs = append(cfg.Specs, s.Name)
+		}
+	}
+	if len(cfg.Cores) == 0 {
+		cfg.Cores = DefaultCores
+	}
+	if len(cfg.Workloads) == 0 {
+		cfg.Workloads = DefaultWorkloads
+	}
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = runtime.NumCPU()
+	}
+	return cfg
+}
+
+// Record is one sweep data point: one workload lowered onto one pod
+// configuration under one parameter set. Field names are the stable
+// JSON schema BENCH_baseline.json commits to (DESIGN.md §9).
+type Record struct {
+	ID          string             `json:"id"`            // "SetD/TPUv6e-8/MNIST"
+	Spec        string             `json:"spec"`          // TPU generation
+	Cores       int                `json:"cores"`         // pod size
+	Params      string             `json:"params"`        // parameter-set name
+	Workload    string             `json:"workload"`      // workload name
+	TotalS      float64            `json:"total_s"`       // end-to-end modeled latency
+	CollectiveS float64            `json:"collective_s"`  // ICI share of TotalS
+	Kernels     cross.KernelCounts `json:"kernel_counts"` // launch tallies
+}
+
+// swcase is one enumerated cross-product point.
+type swcase struct {
+	set, spec, wl string
+	cores         int
+}
+
+// id renders the stable record identifier.
+func (c swcase) id() string {
+	return fmt.Sprintf("Set%s/%s-%d/%s", c.set, c.spec, c.cores, c.wl)
+}
+
+// enumerate lists the cross-product in fixed nested order
+// (sets → specs → cores → workloads), the order records are emitted in.
+func enumerate(cfg Config) []swcase {
+	var cases []swcase
+	for _, set := range cfg.Sets {
+		for _, spec := range cfg.Specs {
+			for _, cores := range cfg.Cores {
+				for _, wl := range cfg.Workloads {
+					cases = append(cases, swcase{set: set, spec: spec, cores: cores, wl: wl})
+				}
+			}
+		}
+	}
+	return cases
+}
+
+// buildProgram composes one workload on a compiler.
+func buildProgram(c *cross.Compiler, wl string) (*cross.Program, error) {
+	switch wl {
+	case WorkloadHEMult:
+		return cross.NewProgram(c).HEMult(), nil
+	case WorkloadRotate:
+		return cross.NewProgram(c).Rotate(1), nil
+	case WorkloadBootstrap:
+		return cross.NewProgram(c).Bootstrap(cross.DefaultBootstrapSchedule(c.P)), nil
+	case WorkloadMNIST:
+		return workload.MNISTProgram(c), nil
+	case WorkloadHELR:
+		return workload.HELRProgram(c), nil
+	default:
+		return nil, fmt.Errorf("sweep: unknown workload %q (have %v)", wl, DefaultWorkloads)
+	}
+}
+
+// runCase lowers one case. Every case builds its own pod and compiler
+// (targets are stateful trace accumulators); only the schedule cache is
+// shared, so equivalent operators lower once process-wide.
+func runCase(c swcase, cache *cross.ScheduleCache) (Record, error) {
+	p, err := cross.NamedSet(c.set)
+	if err != nil {
+		return Record{}, err
+	}
+	spec, ok := tpusim.SpecByName(c.spec)
+	if !ok {
+		return Record{}, fmt.Errorf("sweep: unknown TPU spec %q", c.spec)
+	}
+	pod, err := tpusim.NewPod(spec, c.cores)
+	if err != nil {
+		return Record{}, err
+	}
+	comp, err := cross.Compile(pod, p)
+	if err != nil {
+		return Record{}, err
+	}
+	prog, err := buildProgram(comp, c.wl)
+	if err != nil {
+		return Record{}, err
+	}
+	s := prog.WithCache(cache).Lower()
+	return Record{
+		ID:          c.id(),
+		Spec:        c.spec,
+		Cores:       c.cores,
+		Params:      "Set" + c.set,
+		Workload:    c.wl,
+		TotalS:      s.Total,
+		CollectiveS: s.Collective,
+		Kernels:     s.Kernels,
+	}, nil
+}
+
+// Run executes the sweep on cfg.Parallel workers and returns the
+// records in enumeration order. The order, and every value in every
+// record, is independent of the worker count.
+func Run(cfg Config) ([]Record, error) {
+	cfg = cfg.withDefaults()
+	cases := enumerate(cfg)
+	records := make([]Record, len(cases))
+	errs := make([]error, len(cases))
+	cache := cross.NewScheduleCache()
+
+	idx := make(chan int, len(cases))
+	for i := range cases {
+		idx <- i
+	}
+	close(idx)
+
+	workers := cfg.Parallel
+	if workers > len(cases) {
+		workers = len(cases)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				records[i], errs[i] = runCase(cases[i], cache)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: case %s: %w", cases[i].id(), err)
+		}
+	}
+	return records, nil
+}
