@@ -29,6 +29,11 @@
 //     deterministic records; SweepDiff classifies regressions against
 //     a committed baseline — the CI perf gate (crossbench -sweep /
 //     -compare).
+//   - Host perf layer: HostBench measures the functional CPU kernels'
+//     real ns/op and steady-state allocs/op at fixed sizes;
+//     HostBenchDiff gates wall time against a generous threshold and
+//     allocations strictly at zero drift (crossbench -hostbench,
+//     BENCH_host.json).
 //
 // See DESIGN.md (§ "Schedule IR & Targets") for the system inventory
 // and EXPERIMENTS.md for the reproduction results.
@@ -41,6 +46,7 @@ import (
 	"cross/internal/ckks"
 	icross "cross/internal/cross"
 	"cross/internal/harness"
+	"cross/internal/hostbench"
 	"cross/internal/mat"
 	"cross/internal/modarith"
 	"cross/internal/ring"
@@ -395,6 +401,31 @@ func Sweep(cfg SweepConfig) ([]SweepRecord, error) { return sweep.Run(cfg) }
 // condition crossbench -compare exits non-zero on.
 func SweepDiff(old, new []SweepRecord, threshold float64) SweepDiffResult {
 	return sweep.Diff(old, new, threshold)
+}
+
+// ---- Host (wall-clock) perf-gating layer ----
+
+// HostBenchRecord is one host kernel measurement: real ns/op and
+// steady-state allocs/op at a fixed size. Its JSON encoding is the
+// stable schema BENCH_host.json and the hostbench CI gate diff on.
+type HostBenchRecord = hostbench.Record
+
+// HostBenchDiffResult is the classified old-vs-new comparison of two
+// host benchmark runs.
+type HostBenchDiffResult = hostbench.DiffResult
+
+// HostBench measures the host-side functional kernels (NTT/INTT,
+// VecMod, automorphism, matrix NTT, BAT MatMul, BConv) at fixed sizes
+// and returns stably-ordered records. Unlike Sweep, these are real
+// wall-clock numbers for THIS machine: diff them only against a
+// baseline recorded on comparable hardware.
+func HostBench() ([]HostBenchRecord, error) { return hostbench.Run() }
+
+// HostBenchDiff compares two host benchmark runs. Wall time is
+// classified against the fractional threshold (generous — CI runners
+// are noisy); allocs/op is gated strictly at zero drift.
+func HostBenchDiff(old, new []HostBenchRecord, threshold float64) HostBenchDiffResult {
+	return hostbench.Diff(old, new, threshold)
 }
 
 // EstimateMNIST estimates the §V-D MNIST CNN latency on a compiler.

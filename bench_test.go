@@ -38,10 +38,12 @@ func mustCompiler(b *testing.B, spec tpusim.Spec, p icross.Params) *icross.Compi
 // Simulated latencies are attached as metrics; the functional BAT
 // pipeline is executed at a reduced size for real ns/op.
 func BenchmarkTableV(b *testing.B) {
+	b.ReportAllocs()
 	sizes := [][3]int{{512, 256, 256}, {2048, 256, 256}, {2048, 2048, 2048}}
 	for _, hvw := range sizes {
 		hvw := hvw
 		b.Run(fmt.Sprintf("H%d_V%d_W%d", hvw[0], hvw[1], hvw[2]), func(b *testing.B) {
+			b.ReportAllocs()
 			c := mustCompiler(b, tpusim.TPUv6e(), icross.SetD())
 			var base, batT float64
 			for i := 0; i < b.N; i++ {
@@ -55,6 +57,7 @@ func BenchmarkTableV(b *testing.B) {
 	}
 	// Functional execution (small size, real time).
 	b.Run("functional_64x64x64", func(b *testing.B) {
+		b.ReportAllocs()
 		m := modarith.MustModulus(268369921)
 		rng := rand.New(rand.NewSource(1))
 		a := make([]uint64, 64*64)
@@ -77,9 +80,11 @@ func BenchmarkTableV(b *testing.B) {
 
 // BenchmarkTableVI regenerates Tab. VI: BConv step 2 with/without BAT.
 func BenchmarkTableVI(b *testing.B) {
+	b.ReportAllocs()
 	for _, ll := range [][2]int{{12, 28}, {12, 36}, {16, 40}, {24, 56}} {
 		ll := ll
 		b.Run(fmt.Sprintf("l%d_to_%d", ll[0], ll[1]), func(b *testing.B) {
+			b.ReportAllocs()
 			c := mustCompiler(b, tpusim.TPUv6e(), icross.SetD())
 			var with, without float64
 			for i := 0; i < b.N; i++ {
@@ -96,10 +101,12 @@ func BenchmarkTableVI(b *testing.B) {
 // BenchmarkTableVII regenerates Tab. VII / Fig. 11a: peak NTT throughput
 // per TPU generation at the paper's three degrees.
 func BenchmarkTableVII(b *testing.B) {
+	b.ReportAllocs()
 	for _, spec := range tpusim.AllSpecs() {
 		for _, set := range []icross.Params{icross.SetA(), icross.SetB(), icross.SetC()} {
 			spec, set := spec, set
 			b.Run(fmt.Sprintf("%s_N2e%d", spec.Name, set.LogN), func(b *testing.B) {
+				b.ReportAllocs()
 				c := mustCompiler(b, spec, set)
 				var thr float64
 				for i := 0; i < b.N; i++ {
@@ -113,9 +120,11 @@ func BenchmarkTableVII(b *testing.B) {
 
 // BenchmarkFig11b regenerates the batch-size sweep on TPUv6e.
 func BenchmarkFig11b(b *testing.B) {
+	b.ReportAllocs()
 	for _, name := range []string{"A", "B", "C", "D"} {
 		name := name
 		b.Run("Set"+name, func(b *testing.B) {
+			b.ReportAllocs()
 			p, err := icross.NamedSet(name)
 			if err != nil {
 				b.Fatal(err)
@@ -138,6 +147,7 @@ func BenchmarkFig11b(b *testing.B) {
 // BenchmarkTableVIII regenerates the HE-operator latencies on a
 // simulated v6e core for the paper's default Set D.
 func BenchmarkTableVIII(b *testing.B) {
+	b.ReportAllocs()
 	c := mustCompiler(b, tpusim.TPUv6e(), icross.SetD())
 	var ops icross.HEOpLatencies
 	for i := 0; i < b.N; i++ {
@@ -151,6 +161,7 @@ func BenchmarkTableVIII(b *testing.B) {
 
 // BenchmarkFig12 regenerates the HE-Mult breakdown shares.
 func BenchmarkFig12(b *testing.B) {
+	b.ReportAllocs()
 	c := mustCompiler(b, tpusim.TPUv6e(), icross.SetD())
 	var vecShare float64
 	for i := 0; i < b.N; i++ {
@@ -163,6 +174,7 @@ func BenchmarkFig12(b *testing.B) {
 
 // BenchmarkTableIX regenerates the packed-bootstrapping estimate.
 func BenchmarkTableIX(b *testing.B) {
+	b.ReportAllocs()
 	c := mustCompiler(b, tpusim.TPUv6e(), icross.SetD())
 	sched := icross.DefaultBootstrapSchedule(icross.SetD())
 	var lat float64
@@ -174,11 +186,13 @@ func BenchmarkTableIX(b *testing.B) {
 
 // BenchmarkFig13a regenerates the VecModMul reduction ablation.
 func BenchmarkFig13a(b *testing.B) {
+	b.ReportAllocs()
 	p := icross.SetD()
 	elems := 2 * p.L * p.N()
 	for _, alg := range []modarith.ReduceAlgorithm{modarith.Barrett, modarith.Montgomery, modarith.Shoup, modarith.BATLazy} {
 		alg := alg
 		b.Run(alg.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			pp := p
 			pp.Red = alg
 			c := mustCompiler(b, tpusim.TPUv6e(), pp)
@@ -193,9 +207,11 @@ func BenchmarkFig13a(b *testing.B) {
 
 // BenchmarkFig13b regenerates the NTT reduction ablation.
 func BenchmarkFig13b(b *testing.B) {
+	b.ReportAllocs()
 	for _, alg := range []modarith.ReduceAlgorithm{modarith.Barrett, modarith.Montgomery, modarith.Shoup, modarith.BATLazy} {
 		alg := alg
 		b.Run(alg.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			c := mustCompiler(b, tpusim.TPUv6e(), icross.SetD())
 			var lat float64
 			for i := 0; i < b.N; i++ {
@@ -210,7 +226,9 @@ func BenchmarkFig13b(b *testing.B) {
 // both functionally on the CPU for real wall times (the §V-B CPU-CROSS
 // datapoint).
 func BenchmarkTableX(b *testing.B) {
+	b.ReportAllocs()
 	b.Run("simulated_N2e14", func(b *testing.B) {
+		b.ReportAllocs()
 		p := icross.SetC()
 		c := mustCompiler(b, tpusim.TPUv4(), p)
 		var r2, mat float64
@@ -235,6 +253,7 @@ func BenchmarkTableX(b *testing.B) {
 		data[i] = rng.Uint64() % primes[0]
 	}
 	b.Run("cpu_radix2_N2e12", func(b *testing.B) {
+		b.ReportAllocs()
 		buf := append([]uint64(nil), data...)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -242,6 +261,7 @@ func BenchmarkTableX(b *testing.B) {
 		}
 	})
 	b.Run("cpu_mat3step_N2e12", func(b *testing.B) {
+		b.ReportAllocs()
 		plan, err := ring.NewMatNTTPlan(rg, 64, 64, ring.LayoutBitRev)
 		if err != nil {
 			b.Fatal(err)
@@ -256,6 +276,7 @@ func BenchmarkTableX(b *testing.B) {
 
 // BenchmarkMNIST regenerates the §V-D MNIST estimate.
 func BenchmarkMNIST(b *testing.B) {
+	b.ReportAllocs()
 	c := mustCompiler(b, tpusim.TPUv6e(), workload.MNISTParams())
 	var perImage float64
 	for i := 0; i < b.N; i++ {
@@ -266,6 +287,7 @@ func BenchmarkMNIST(b *testing.B) {
 
 // BenchmarkLogReg regenerates the §V-D HELR estimate.
 func BenchmarkLogReg(b *testing.B) {
+	b.ReportAllocs()
 	c := mustCompiler(b, tpusim.TPUv6e(), icross.SetD())
 	var iter float64
 	for i := 0; i < b.N; i++ {
@@ -277,6 +299,7 @@ func BenchmarkLogReg(b *testing.B) {
 // BenchmarkCPUHEOps times the functional CKKS operators on this host —
 // the reproduction's CPU platform row of Tab. VIII (Fig. 14's source).
 func BenchmarkCPUHEOps(b *testing.B) {
+	b.ReportAllocs()
 	ctx, err := cross.NewContext(cross.ContextOptions{LogN: 12, Limbs: 6, Rotations: []int{1}})
 	if err != nil {
 		b.Fatal(err)
@@ -294,6 +317,7 @@ func BenchmarkCPUHEOps(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("HE-Add", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := ctx.Evaluator.Add(ct1, ct2); err != nil {
 				b.Fatal(err)
@@ -301,6 +325,7 @@ func BenchmarkCPUHEOps(b *testing.B) {
 		}
 	})
 	b.Run("HE-Mult", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := ctx.Evaluator.MulRelin(ct1, ct2); err != nil {
 				b.Fatal(err)
@@ -308,6 +333,7 @@ func BenchmarkCPUHEOps(b *testing.B) {
 		}
 	})
 	b.Run("Rescale", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := ctx.Evaluator.Rescale(ct1); err != nil {
 				b.Fatal(err)
@@ -315,6 +341,7 @@ func BenchmarkCPUHEOps(b *testing.B) {
 		}
 	})
 	b.Run("Rotate", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := ctx.Evaluator.Rotate(ct1, 1); err != nil {
 				b.Fatal(err)
@@ -326,6 +353,7 @@ func BenchmarkCPUHEOps(b *testing.B) {
 // BenchmarkCPUKernels times the primitive kernels (Fig. 14's CPU
 // profile inputs).
 func BenchmarkCPUKernels(b *testing.B) {
+	b.ReportAllocs()
 	n := 1 << 13
 	primes, err := modarith.GenerateNTTPrimes(28, uint64(n), 2)
 	if err != nil {
@@ -342,6 +370,7 @@ func BenchmarkCPUKernels(b *testing.B) {
 	dst := make([]uint64, n)
 
 	b.Run("NTT", func(b *testing.B) {
+		b.ReportAllocs()
 		buf := append([]uint64(nil), a...)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -349,6 +378,7 @@ func BenchmarkCPUKernels(b *testing.B) {
 		}
 	})
 	b.Run("INTT", func(b *testing.B) {
+		b.ReportAllocs()
 		buf := append([]uint64(nil), a...)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -356,16 +386,19 @@ func BenchmarkCPUKernels(b *testing.B) {
 		}
 	})
 	b.Run("VecModMul_Barrett", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			m.VecMulMod(dst, a, c, modarith.Barrett)
 		}
 	})
 	b.Run("VecModMul_Montgomery", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			m.VecMulMod(dst, a, c, modarith.Montgomery)
 		}
 	})
 	b.Run("VecModMul_Shoup", func(b *testing.B) {
+		b.ReportAllocs()
 		ws := m.ShoupPrecomputeVec(c)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -373,11 +406,13 @@ func BenchmarkCPUKernels(b *testing.B) {
 		}
 	})
 	b.Run("VecModAdd", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			m.VecAddMod(dst, a, c)
 		}
 	})
 	b.Run("Automorphism", func(b *testing.B) {
+		b.ReportAllocs()
 		idx, err := rg.AutomorphismNTTIndex(5)
 		if err != nil {
 			b.Fatal(err)
@@ -396,10 +431,12 @@ func BenchmarkCPUKernels(b *testing.B) {
 // simulated cost of k rotations with and without a shared
 // decomposition.
 func BenchmarkHoisting(b *testing.B) {
+	b.ReportAllocs()
 	c := mustCompiler(b, tpusim.TPUv6e(), icross.SetD())
 	for _, k := range []int{1, 4, 16} {
 		k := k
 		b.Run(fmt.Sprintf("rot%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			var plain, hoisted float64
 			for i := 0; i < b.N; i++ {
 				plain = c.Snapshot(func() float64 {
@@ -421,12 +458,14 @@ func BenchmarkHoisting(b *testing.B) {
 // BenchmarkCoreScaling regenerates the pod scaling sweep's headline
 // numbers: sharded HE-Mult latency at 1/2/4/8 cores for Set D.
 func BenchmarkCoreScaling(b *testing.B) {
+	b.ReportAllocs()
 	p := icross.SetD()
 	single := mustCompiler(b, tpusim.TPUv6e(), p)
 	base := single.Snapshot(single.CostHEMult)
 	for _, cores := range []int{1, 2, 4, 8} {
 		cores := cores
 		b.Run(fmt.Sprintf("cores%d", cores), func(b *testing.B) {
+			b.ReportAllocs()
 			pod := tpusim.MustPod(tpusim.TPUv6e(), cores)
 			sc, err := icross.NewSharded(pod, p)
 			if err != nil {
@@ -449,8 +488,10 @@ func BenchmarkCoreScaling(b *testing.B) {
 // the same simulated total; the memoized program does ~1/9th the
 // lowering work, which is what makes it the serving-scale substrate.
 func BenchmarkProgramLower(b *testing.B) {
+	b.ReportAllocs()
 	c := mustCompiler(b, tpusim.TPUv6e(), workload.MNISTParams())
 	b.Run("memoized_program", func(b *testing.B) {
+		b.ReportAllocs()
 		var total float64
 		for i := 0; i < b.N; i++ {
 			total = workload.MNISTProgram(c).Batch(workload.MNISTBatch).Lower().Total
@@ -458,6 +499,7 @@ func BenchmarkProgramLower(b *testing.B) {
 		b.ReportMetric(total*1e3, "sim_batch_ms")
 	})
 	b.Run("per_layer_lowering", func(b *testing.B) {
+		b.ReportAllocs()
 		var total float64
 		for i := 0; i < b.N; i++ {
 			total = 0
@@ -473,6 +515,7 @@ func BenchmarkProgramLower(b *testing.B) {
 // BenchmarkPodSchedule times pod-target lowering through the unified
 // Compile path (the old ShardedCompiler code path, now just a Target).
 func BenchmarkPodSchedule(b *testing.B) {
+	b.ReportAllocs()
 	pod := tpusim.MustPod(tpusim.TPUv6e(), 4)
 	c, err := icross.Compile(pod, icross.SetD())
 	if err != nil {
@@ -490,6 +533,7 @@ func BenchmarkPodSchedule(b *testing.B) {
 // pool (real wall time — the `go test -bench` comparison of the
 // Parallelism option).
 func BenchmarkParallelNTT(b *testing.B) {
+	b.ReportAllocs()
 	n := 1 << 14
 	limbs := 16
 	primes, err := modarith.GenerateNTTPrimes(28, uint64(n), limbs)
@@ -507,6 +551,7 @@ func BenchmarkParallelNTT(b *testing.B) {
 	for _, workers := range []int{1, 2, ring.DefaultParallelism()} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			rp := rg.WithParallelism(workers)
 			buf := src.CopyNew()
 			b.ResetTimer()
@@ -521,6 +566,7 @@ func BenchmarkParallelNTT(b *testing.B) {
 // BenchmarkParallelBATMatMul times the row-sharded BAT matmul pipeline
 // against the serial path (real wall time).
 func BenchmarkParallelBATMatMul(b *testing.B) {
+	b.ReportAllocs()
 	m := modarith.MustModulus(268369921)
 	rng := rand.New(rand.NewSource(10))
 	h, v, w := 256, 128, 128
@@ -539,6 +585,7 @@ func BenchmarkParallelBATMatMul(b *testing.B) {
 	for _, workers := range []int{1, 2, bat.DefaultParallelism()} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := plan.MulParallel(x, w, workers); err != nil {
 					b.Fatal(err)
@@ -551,12 +598,14 @@ func BenchmarkParallelBATMatMul(b *testing.B) {
 // BenchmarkBATScalar times the three scalar-multiplication routes the
 // paper contrasts (Fig. 7, Fig. 16).
 func BenchmarkBATScalar(b *testing.B) {
+	b.ReportAllocs()
 	m := modarith.MustModulus(268369921)
 	plan, err := bat.DirectScalarBAT(m, 123456789%m.Q)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Run("BAT_dense", func(b *testing.B) {
+		b.ReportAllocs()
 		var s uint64
 		for i := 0; i < b.N; i++ {
 			s += plan.Mul(uint64(i))
@@ -564,6 +613,7 @@ func BenchmarkBATScalar(b *testing.B) {
 		_ = s
 	})
 	b.Run("sparse_toeplitz", func(b *testing.B) {
+		b.ReportAllocs()
 		var s uint64
 		for i := 0; i < b.N; i++ {
 			s += bat.SparseScalarMul(m, 123456789%m.Q, uint64(i)%m.Q)
@@ -571,6 +621,7 @@ func BenchmarkBATScalar(b *testing.B) {
 		_ = s
 	})
 	b.Run("conv1d_fallback", func(b *testing.B) {
+		b.ReportAllocs()
 		var s uint64
 		for i := 0; i < b.N; i++ {
 			s += bat.Conv1DScalarMul(m, 123456789%m.Q, uint64(i)%m.Q)

@@ -16,6 +16,9 @@
 //	crossbench -compare BENCH_baseline.json   # fresh sweep vs baseline; exit 1 on regression
 //	crossbench -compare BENCH_baseline.json -threshold 0.01
 //	crossbench -compare BENCH_baseline.json -out sweep.json  # keep the fresh sweep too
+//	crossbench -hostbench                     # measure host kernels (real ns/op + allocs/op)
+//	crossbench -hostbench -compare BENCH_host.json -threshold 0.25  # wall-clock gate
+//	crossbench -hostbench -compare BENCH_host.json -out hostbench.json
 //	crossbench -json [...]     # machine-readable output (any mode)
 //
 // With -json the tool emits JSON instead of the formatted tables:
@@ -80,16 +83,90 @@ func readBaseline(path string) ([]cross.SweepRecord, error) {
 	return recs, nil
 }
 
+// writeHostBench writes host benchmark records with the exact encoding
+// of -hostbench -json, so the file is committable as BENCH_host.json.
+func writeHostBench(path string, recs []cross.HostBenchRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readHostBaseline loads a committed host benchmark (BENCH_host.json).
+func readHostBaseline(path string) ([]cross.HostBenchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []cross.HostBenchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%s holds no host benchmark records", path)
+	}
+	return recs, nil
+}
+
+// runHostBench handles -hostbench (optionally with -compare/-out):
+// measure the host kernels, write/print the records, and when a
+// baseline is given diff against it, exiting 1 on regression.
+func runHostBench(compare string, threshold float64, out string, asJSON bool) {
+	recs, err := cross.HostBench()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crossbench:", err)
+		os.Exit(1)
+	}
+	if out != "" {
+		if err := writeHostBench(out, recs); err != nil {
+			fmt.Fprintln(os.Stderr, "crossbench:", err)
+			os.Exit(1)
+		}
+	}
+	if compare == "" {
+		if asJSON {
+			emitJSON(recs)
+			return
+		}
+		for _, r := range recs {
+			fmt.Printf("%-28s %12.0f ns/op %8.3g allocs/op\n", r.ID, r.NsPerOp, r.AllocsPerOp)
+		}
+		return
+	}
+	baseline, err := readHostBaseline(compare)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crossbench:", err)
+		os.Exit(1)
+	}
+	diff := cross.HostBenchDiff(baseline, recs, threshold)
+	if asJSON {
+		emitJSON(diff)
+	} else {
+		fmt.Print(diff.Summary())
+	}
+	if diff.HasRegressions() {
+		os.Exit(1)
+	}
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
 	experiment := flag.String("experiment", "", "run a single experiment by identifier")
 	scaling := flag.Bool("scaling", false, "run only the pod core-count scaling sweep")
 	device := flag.String("device", "TPUv6e", "TPU generation for -scaling (TPUv4, TPUv5e, TPUv5p, TPUv6e)")
 	sweepMode := flag.Bool("sweep", false, "run the full cross-product perf sweep")
-	compare := flag.String("compare", "", "run a fresh sweep and diff it against a baseline sweep JSON file; exit 1 on regression")
+	hostbenchMode := flag.Bool("hostbench", false, "measure host kernels (real ns/op + allocs/op); with -compare, diff against a BENCH_host.json baseline")
+	compare := flag.String("compare", "", "run a fresh sweep (or host benchmark with -hostbench) and diff it against a baseline JSON file; exit 1 on regression")
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = NumCPU); output is identical at every value")
-	threshold := flag.Float64("threshold", 0.005, "fractional regression threshold for -compare (0.005 = 0.5%)")
-	out := flag.String("out", "", "also write the fresh sweep JSON to this file (-sweep or -compare); lets CI keep the sweep artifact without running the sweep twice")
+	threshold := flag.Float64("threshold", 0.005, "fractional regression threshold for -compare (0.005 = 0.5%; -hostbench defaults to 0.25)")
+	out := flag.String("out", "", "also write the fresh records JSON to this file (-sweep, -hostbench or -compare); lets CI keep the artifact without running the measurement twice")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of formatted tables")
 	flag.Parse()
 
@@ -106,14 +183,16 @@ func main() {
 			outSet = true
 		}
 	})
+	// -hostbench pairs with -compare (the wall-clock gate); every other
+	// top-level mode is mutually exclusive.
 	exclusive := 0
-	for _, on := range []bool{*scaling, *sweepMode, *compare != "", *list, *experiment != ""} {
+	for _, on := range []bool{*scaling, *sweepMode, *hostbenchMode, *compare != "" && !*hostbenchMode, *list, *experiment != ""} {
 		if on {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		fmt.Fprintln(os.Stderr, "crossbench: -scaling, -sweep, -compare, -list and -experiment are mutually exclusive")
+		fmt.Fprintln(os.Stderr, "crossbench: -scaling, -sweep, -hostbench, -compare, -list and -experiment are mutually exclusive (except -hostbench -compare)")
 		os.Exit(1)
 	}
 	if deviceSet && !*scaling {
@@ -124,13 +203,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "crossbench: -threshold only applies to -compare")
 		os.Exit(1)
 	}
-	if parallelSet && !*sweepMode && *compare == "" {
-		fmt.Fprintln(os.Stderr, "crossbench: -parallel only applies to -sweep and -compare")
+	if parallelSet && (*hostbenchMode || (!*sweepMode && *compare == "")) {
+		fmt.Fprintln(os.Stderr, "crossbench: -parallel only applies to -sweep and sweep -compare")
 		os.Exit(1)
 	}
-	if outSet && !*sweepMode && *compare == "" {
-		fmt.Fprintln(os.Stderr, "crossbench: -out only applies to -sweep and -compare")
+	if outSet && !*sweepMode && !*hostbenchMode && *compare == "" {
+		fmt.Fprintln(os.Stderr, "crossbench: -out only applies to -sweep, -hostbench and -compare")
 		os.Exit(1)
+	}
+
+	if *hostbenchMode {
+		th := *threshold
+		if !thresholdSet {
+			th = 0.25 // generous: shared CI runners are noisy
+		}
+		runHostBench(*compare, th, *out, *asJSON)
+		return
 	}
 
 	if *sweepMode {

@@ -2,6 +2,8 @@ package bat
 
 import (
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"cross/internal/modarith"
 )
@@ -18,6 +20,36 @@ type MatMulPlan struct {
 	// ADense is the KH×KV compiled left operand (row-major). Each K×K
 	// block [hK:(h+1)K, vK:(v+1)K] is DirectScalarBAT(A[h][v]).
 	ADense []uint8
+
+	// Scratch pools for the runtime pipeline: the chunk-stacked right
+	// operand (uint8) and the int32 partial-sum matrix. Buffers are
+	// sized for the last W seen and regrown on demand, so steady-state
+	// MulInto calls allocate nothing.
+	bPool sync.Pool // *[]uint8
+	zPool sync.Pool // *[]int32
+}
+
+// getB borrows a chunk-stack buffer of at least size bytes.
+func (p *MatMulPlan) getB(size int) *[]uint8 {
+	if b, ok := p.bPool.Get().(*[]uint8); ok && cap(*b) >= size {
+		*b = (*b)[:size]
+		return b
+	}
+	b := make([]uint8, size)
+	return &b
+}
+
+// getZ borrows a zeroed partial-sum buffer of at least size entries.
+func (p *MatMulPlan) getZ(size int) *[]int32 {
+	if z, ok := p.zPool.Get().(*[]int32); ok && cap(*z) >= size {
+		*z = (*z)[:size]
+		for i := range *z {
+			(*z)[i] = 0
+		}
+		return z
+	}
+	z := make([]int32, size)
+	return &z
 }
 
 // OfflineCompileLeft compiles the pre-known left matrix A (flat H×V
@@ -55,17 +87,23 @@ func (p *MatMulPlan) CompileRight(b []uint64, w int) ([]uint8, error) {
 	if len(b) != p.V*w {
 		return nil, fmt.Errorf("bat: right matrix is %d elements, want %d×%d", len(b), p.V, w)
 	}
+	out := make([]uint8, p.K*p.V*w)
+	p.compileRightInto(out, b, w)
+	return out, nil
+}
+
+// compileRightInto chunk-stacks b into dst (len K·V·W, fully
+// overwritten).
+func (p *MatMulPlan) compileRightInto(dst []uint8, b []uint64, w int) {
 	k := p.K
-	out := make([]uint8, k*p.V*w)
 	for vv := 0; vv < p.V; vv++ {
 		for ww := 0; ww < w; ww++ {
 			x := b[vv*w+ww] % p.m.Q
 			for kk := 0; kk < k; kk++ {
-				out[(vv*k+kk)*w+ww] = uint8((x >> (uint(kk) * BP)) & chunkMask)
+				dst[(vv*k+kk)*w+ww] = uint8((x >> (uint(kk) * BP)) & chunkMask)
 			}
 		}
 	}
-	return out, nil
 }
 
 // psumBits returns the accumulator width 2·bp + log2(K·V) the paper
@@ -117,18 +155,19 @@ func (p *MatMulPlan) MergeReduce(z []int32, w int) []uint64 {
 	return p.MergeReduceParallel(z, w, 1)
 }
 
-// mergeReduceRows merges output rows [h0, h1) into out, with a
-// caller-local psums scratch so concurrent row ranges don't share
-// state.
+// mergeReduceRows merges output rows [h0, h1) into out. The K partial
+// sums live in a fixed stack array (K ≤ 8 for any ≤61-bit modulus at
+// BP=8... in practice K ≤ 4 for the ≤32-bit BAT moduli), so concurrent
+// row ranges share no state and the merge allocates nothing.
 func (p *MatMulPlan) mergeReduceRows(z []int32, w, h0, h1 int, out []uint64) {
 	k := p.K
-	psums := make([]int32, k)
+	var psums [8]int32
 	for hh := h0; hh < h1; hh++ {
 		for ww := 0; ww < w; ww++ {
 			for i := 0; i < k; i++ {
 				psums[i] = z[(hh*k+i)*w+ww]
 			}
-			out[hh*w+ww] = p.m.Reduce(ChunkMergeWide(psums))
+			out[hh*w+ww] = p.m.Reduce(ChunkMergeWide(psums[:k]))
 		}
 	}
 }
@@ -139,18 +178,69 @@ func (p *MatMulPlan) Mul(b []uint64, w int) ([]uint64, error) {
 	return p.MulParallel(b, w, 1)
 }
 
+// MulInto is Mul with a caller-provided destination (len H·W) and all
+// intermediates drawn from the plan's scratch pools: the steady state
+// performs zero allocations. workers < 1 is clamped to the serial
+// path, matching MulParallel.
+func (p *MatMulPlan) MulInto(dst []uint64, b []uint64, w, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if w <= 0 || len(b) != p.V*w {
+		return fmt.Errorf("bat: right matrix is %d elements, want %d×%d", len(b), p.V, w)
+	}
+	if len(dst) != p.H*w {
+		return fmt.Errorf("bat: destination is %d elements, want %d×%d", len(dst), p.H, w)
+	}
+	if p.psumBits() > 31 {
+		return fmt.Errorf("bat: partial sums need %d bits, exceeding the 32-bit MXU accumulator", p.psumBits())
+	}
+	kh, kv := p.K*p.H, p.K*p.V
+	bb := p.getB(kv * w)
+	p.compileRightInto(*bb, b, w)
+	zz := p.getZ(kh * w)
+	z := *zz
+	if workers == 1 {
+		// Serial fast path: no range slices, no goroutine closures —
+		// the steady state stays allocation-free.
+		p.matMulRows(*bb, w, 0, kh, z)
+		p.mergeReduceRows(z, w, 0, p.H, dst)
+	} else {
+		runRanges(rowRanges(kh, workers), func(start, end int) {
+			p.matMulRows(*bb, w, start, end, z)
+		})
+		runRanges(rowRanges(p.H, workers), func(start, end int) {
+			p.mergeReduceRows(z, w, start, end, dst)
+		})
+	}
+	p.bPool.Put(bb)
+	p.zPool.Put(zz)
+	return nil
+}
+
 // ModMatMulDirect is the high-precision reference: out = A·B mod q
-// computed directly with word arithmetic. It is both the correctness
-// oracle for the BAT pipeline and the VPU-mapped baseline of Tab. V.
+// computed directly with word arithmetic, accumulating each output in
+// 128 bits via bits.Mul64 and reducing once (lazy accumulation; a
+// rare near-overflow fold keeps the high word bounded for ≥62-bit
+// running sums). It is both the correctness oracle for the BAT
+// pipeline and the VPU-mapped baseline of Tab. V.
 func ModMatMulDirect(m *modarith.Modulus, a []uint64, h, v int, b []uint64, w int) []uint64 {
 	out := make([]uint64, h*w)
 	for i := 0; i < h; i++ {
+		arow := a[i*v : (i+1)*v]
 		for j := 0; j < w; j++ {
-			var acc uint64
+			var hi, lo uint64
 			for kk := 0; kk < v; kk++ {
-				acc = m.AddMod(acc, m.MulMod(a[i*v+kk], b[kk*w+j]))
+				ph, pl := bits.Mul64(arow[kk], b[kk*w+j])
+				var c uint64
+				lo, c = bits.Add64(lo, pl, 0)
+				hi += ph + c
+				if hi >= 1<<62 {
+					lo = m.ReduceWide(hi, lo)
+					hi = 0
+				}
 			}
-			out[i*w+j] = acc
+			out[i*w+j] = m.ReduceWide(hi, lo)
 		}
 	}
 	return out

@@ -86,15 +86,21 @@ func (p *MatMulPlan) MergeReduceParallel(z []int32, w, workers int) []uint64 {
 
 // MulParallel executes the full BAT pipeline (Alg. 2 MAIN-FULLMATMUL)
 // with the matmul and merge stages row-sharded across up to `workers`
-// goroutines. Bit-identical to Mul for every worker count.
+// goroutines. Worker counts below 1 (0, negatives) are invalid and
+// clamp to the serial path rather than silently misbehaving; the
+// result is bit-identical to Mul for every worker count. Intermediates
+// come from the plan's scratch pools — only the returned H×W result is
+// a fresh allocation (use MulInto to avoid even that).
 func (p *MatMulPlan) MulParallel(b []uint64, w, workers int) ([]uint64, error) {
-	bDense, err := p.CompileRight(b, w)
-	if err != nil {
+	if workers < 1 {
+		workers = 1
+	}
+	if w <= 0 || len(b) != p.V*w {
+		return nil, fmt.Errorf("bat: right matrix is %d elements, want %d×%d", len(b), p.V, w)
+	}
+	out := make([]uint64, p.H*w)
+	if err := p.MulInto(out, b, w, workers); err != nil {
 		return nil, err
 	}
-	z, err := p.MatMulLowPrecParallel(bDense, w, workers)
-	if err != nil {
-		return nil, err
-	}
-	return p.MergeReduceParallel(z, w, workers), nil
+	return out, nil
 }

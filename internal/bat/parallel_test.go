@@ -84,3 +84,96 @@ func TestRowRanges(t *testing.T) {
 		}
 	}
 }
+
+// TestMulParallelClampsInvalidWorkers is the error-path contract of
+// MulParallel: zero and negative worker counts clamp to the serial
+// path and stay bit-identical to Mul.
+func TestMulParallelClampsInvalidWorkers(t *testing.T) {
+	m := modarith.MustModulus(268369921)
+	rng := rand.New(rand.NewSource(13))
+	h, v, w := 8, 8, 8
+	a := make([]uint64, h*v)
+	x := make([]uint64, v*w)
+	for i := range a {
+		a[i] = rng.Uint64() % m.Q
+	}
+	for i := range x {
+		x[i] = rng.Uint64() % m.Q
+	}
+	plan, err := OfflineCompileLeft(m, a, h, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plan.Mul(x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, -1, -42} {
+		got, err := plan.MulParallel(x, w, workers)
+		if err != nil {
+			t.Fatalf("MulParallel(workers=%d) errored: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("MulParallel(workers=%d) diverges at %d", workers, i)
+			}
+		}
+	}
+}
+
+// TestMulIntoZeroAllocsSteadyState pins the pooled pipeline's
+// allocation-free contract (after one warmup to populate the pools).
+func TestMulIntoZeroAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under -race; pooled paths cannot hold 0 allocs/op")
+	}
+	m := modarith.MustModulus(268369921)
+	rng := rand.New(rand.NewSource(14))
+	h, v, w := 16, 16, 16
+	a := make([]uint64, h*v)
+	x := make([]uint64, v*w)
+	for i := range a {
+		a[i] = rng.Uint64() % m.Q
+	}
+	for i := range x {
+		x[i] = rng.Uint64() % m.Q
+	}
+	plan, err := OfflineCompileLeft(m, a, h, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]uint64, h*w)
+	if err := plan.MulInto(dst, x, w, 1); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := plan.MulInto(dst, x, w, 1); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("MulInto allocates %.2f/op, want 0", avg)
+	}
+}
+
+// TestMulRejectsInvalidWidth pins the error-return contract on bad w:
+// non-positive widths must error, never panic (regression guard for
+// the MulInto refactor).
+func TestMulRejectsInvalidWidth(t *testing.T) {
+	m := modarith.MustModulus(268369921)
+	a := make([]uint64, 4)
+	plan, err := OfflineCompileLeft(m, a, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{-1, 0} {
+		if _, err := plan.Mul(a, w); err == nil {
+			t.Fatalf("Mul(w=%d) should error", w)
+		}
+		if _, err := plan.MulParallel(a, w, 2); err == nil {
+			t.Fatalf("MulParallel(w=%d) should error", w)
+		}
+		if err := plan.MulInto(make([]uint64, 4), a, w, 1); err == nil {
+			t.Fatalf("MulInto(w=%d) should error", w)
+		}
+	}
+}

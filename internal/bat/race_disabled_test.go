@@ -1,0 +1,6 @@
+//go:build !race
+
+package bat
+
+// See race_enabled_test.go.
+const raceEnabled = false

@@ -2,9 +2,9 @@ package ckks
 
 import (
 	"fmt"
+	"sync"
 
 	"cross/internal/ring"
-	"cross/internal/rns"
 )
 
 // KernelCounters tallies HE-kernel invocations (limb-granular) so the
@@ -23,17 +23,69 @@ type KernelCounters struct {
 // Evaluator executes CKKS operators on the CPU. It is the functional
 // twin of the cross.Compiler lowering.
 type Evaluator struct {
-	p    *Parameters
-	rlk  *RelinearizationKey
-	gks  map[uint64]*GaloisKey
-	Kc   KernelCounters
-	auto map[uint64][]int // cached automorphism slot tables
+	p   *Parameters
+	rlk *RelinearizationKey
+	gks map[uint64]*GaloisKey
+	Kc  KernelCounters
+
+	// scratch recycles full-width (L+Alpha limb) polynomials for the
+	// key-switch pipeline's intermediates (digit extraction buffers,
+	// accumulators, ModUp extensions), so the steady-state operator
+	// allocates only its returned ciphertext.
+	scratch sync.Pool // *polyScratch
+	// rowBuf/rowBufOut back the [][]uint64 row-header views handed to
+	// the basis converter (headers only — no coefficient copies).
+	rowBuf    [][]uint64
+	rowBufOut [][]uint64
+}
+
+// polyScratch is a pooled full-width polynomial plus a truncated view
+// of it; the view's limb count is set per borrow.
+type polyScratch struct {
+	full *ring.Poly
+	view ring.Poly
+}
+
+// getPoly borrows a polynomial with the given limb count. When zero is
+// set the view's limbs are cleared (accumulator use); otherwise the
+// contents are undefined and the caller must overwrite before reading.
+func (ev *Evaluator) getPoly(limbs int, zero bool) *polyScratch {
+	sp, ok := ev.scratch.Get().(*polyScratch)
+	if !ok {
+		sp = &polyScratch{full: ring.NewPoly(ev.p.L+ev.p.Alpha, ev.p.N())}
+	}
+	sp.view.Coeffs = sp.full.Coeffs[:limbs]
+	if zero {
+		for i := 0; i < limbs; i++ {
+			clear(sp.view.Coeffs[i])
+		}
+	}
+	return sp
+}
+
+func (ev *Evaluator) putPoly(sp *polyScratch) { ev.scratch.Put(sp) }
+
+// rows returns a reusable row-header slice of length l. Two distinct
+// backings exist because ModUp/ModDown view source and destination
+// limb sets at the same time.
+func (ev *Evaluator) rows(l int) [][]uint64 {
+	if cap(ev.rowBuf) < l {
+		ev.rowBuf = make([][]uint64, l)
+	}
+	return ev.rowBuf[:l]
+}
+
+func (ev *Evaluator) rowsOut(l int) [][]uint64 {
+	if cap(ev.rowBufOut) < l {
+		ev.rowBufOut = make([][]uint64, l)
+	}
+	return ev.rowBufOut[:l]
 }
 
 // NewEvaluator builds an evaluator; rlk and gks may be nil when the
 // corresponding operators are unused.
 func NewEvaluator(p *Parameters, rlk *RelinearizationKey, gks map[uint64]*GaloisKey) *Evaluator {
-	return &Evaluator{p: p, rlk: rlk, gks: gks, auto: make(map[uint64][]int)}
+	return &Evaluator{p: p, rlk: rlk, gks: gks}
 }
 
 // ResetCounters clears the kernel tally.
@@ -113,8 +165,9 @@ func (ev *Evaluator) MulRelin(ct1, ct2 *Ciphertext) (*Ciphertext, error) {
 
 	d0 := ring.NewPoly(lvl+1, n)
 	d1 := ring.NewPoly(lvl+1, n)
-	d2 := ring.NewPoly(lvl+1, n)
-	tmp := ring.NewPoly(lvl+1, n)
+	d2s := ev.getPoly(lvl+1, false)
+	tmps := ev.getPoly(lvl+1, false)
+	d2, tmp := &d2s.view, &tmps.view
 	rq.MulCoeffs(ct1.C0, ct2.C0, d0)
 	rq.MulCoeffs(ct1.C0, ct2.C1, d1)
 	rq.MulCoeffs(ct1.C1, ct2.C0, tmp)
@@ -124,6 +177,8 @@ func (ev *Evaluator) MulRelin(ct1, ct2 *Ciphertext) (*Ciphertext, error) {
 	ev.Kc.VecAddN += lvl + 1
 
 	ks0, ks1 := ev.keySwitch(d2, lvl, &ev.rlk.SwitchingKey)
+	ev.putPoly(d2s)
+	ev.putPoly(tmps)
 	rq.Add(d0, ks0, d0)
 	rq.Add(d1, ks1, d1)
 	ev.Kc.VecAddN += 2 * (lvl + 1)
@@ -157,7 +212,10 @@ func (ev *Evaluator) rescalePoly(p *ring.Poly, lvl int) *ring.Poly {
 	n := ev.p.N()
 	qTop := ev.p.QPrimes[lvl]
 
-	top := append([]uint64(nil), p.Coeffs[lvl]...)
+	tb := rq.GetScratch()
+	defer rq.PutScratch(tb)
+	top := (*tb)[:n]
+	copy(top, p.Coeffs[lvl])
 	rq.INTTLimb(lvl, top)
 	ev.Kc.INTTLimbs++
 
@@ -216,23 +274,22 @@ func (ev *Evaluator) applyGalois(ct *Ciphertext, g uint64) (*Ciphertext, error) 
 	lvl := ct.Level
 	n := ev.p.N()
 
-	idx, ok := ev.auto[g]
-	if !ok {
-		var err error
-		idx, err = rq.AutomorphismNTTIndex(g)
-		if err != nil {
-			return nil, err
-		}
-		ev.auto[g] = idx
+	// The slot table is built once per galois element and cached in the
+	// ring's arena; this lookup is allocation-free afterwards.
+	idx, err := rq.AutomorphismNTTIndex(g)
+	if err != nil {
+		return nil, err
 	}
 
 	c0 := ring.NewPoly(lvl+1, n)
-	c1 := ring.NewPoly(lvl+1, n)
+	c1s := ev.getPoly(lvl+1, false)
+	c1 := &c1s.view
 	rq.AutomorphismNTT(ct.C0, c0, idx)
 	rq.AutomorphismNTT(ct.C1, c1, idx)
 	ev.Kc.Automorph += 2 * (lvl + 1)
 
 	ks0, ks1 := ev.keySwitch(c1, lvl, &gk.SwitchingKey)
+	ev.putPoly(c1s)
 	rq.Add(c0, ks0, c0)
 	ev.Kc.VecAddN += lvl + 1
 	return &Ciphertext{C0: c0, C1: ks1, Level: lvl, Scale: ct.Scale}, nil
@@ -251,16 +308,19 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, lvl int, swk *SwitchingKey) (*ring.
 	dnum := p.NumDigits(lvl)
 
 	// Coefficient-domain copy of d for digit extraction.
-	dCoeff := ring.NewPoly(lvl+1, n)
+	dCoeffS := ev.getPoly(lvl+1, false)
+	dCoeff := &dCoeffS.view
 	dCoeff.Copy(d)
 	rq.INTT(dCoeff)
 	ev.Kc.INTTLimbs += lvl + 1
 
 	// Accumulators over Q_lvl ∪ P (full limb layout; unused limbs idle).
-	acc0 := ring.NewPoly(total, n)
-	acc1 := ring.NewPoly(total, n)
+	acc0S := ev.getPoly(total, true)
+	acc1S := ev.getPoly(total, true)
+	acc0, acc1 := &acc0S.view, &acc1S.view
 	extLimbs := append(qLimbs(lvl), p.pLimbs()...)
 
+	extS := ev.getPoly(total, false)
 	for j := 0; j < dnum; j++ {
 		lo, hi, ok := p.digitRange(j, lvl)
 		if !ok {
@@ -268,7 +328,8 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, lvl int, swk *SwitchingKey) (*ring.
 		}
 		// The digit's own limbs stay in the NTT domain (copied from d);
 		// only the basis-converted limbs need a forward transform.
-		ext := ev.modUp(d, dCoeff, lo, hi, lvl)
+		ext := &extS.view
+		ev.modUp(ext, d, dCoeff, lo, hi, lvl)
 		// Accumulate ext ⊙ evk_j into (acc0, acc1).
 		for _, i := range extLimbs {
 			m := rq.Moduli[i]
@@ -281,19 +342,26 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, lvl int, swk *SwitchingKey) (*ring.
 		ev.Kc.VecMulN += 2 * len(extLimbs)
 		ev.Kc.VecAddN += 2 * len(extLimbs)
 	}
+	ev.putPoly(extS)
+	ev.putPoly(dCoeffS)
 
-	return ev.modDown(acc0, lvl), ev.modDown(acc1, lvl)
+	b := ev.modDown(acc0, lvl)
+	a := ev.modDown(acc1, lvl)
+	ev.putPoly(acc0S)
+	ev.putPoly(acc1S)
+	return b, a
 }
 
-// modUp extends digit limbs [lo, hi) to the full Q_lvl ∪ P basis: the
+// modUp extends digit limbs [lo, hi) to the full Q_lvl ∪ P basis and
+// writes the result into ext (a full-width scratch polynomial): the
 // digit's own limbs are copied straight from the NTT-domain input d,
 // the remaining limbs come from the approximate BConv of the
-// coefficient-domain dCoeff followed by a forward NTT each.
-func (ev *Evaluator) modUp(d, dCoeff *ring.Poly, lo, hi, lvl int) *ring.Poly {
+// coefficient-domain dCoeff followed by a forward NTT each. The
+// converter reads dCoeff's rows and writes ext's rows directly through
+// reusable header views — no coefficient copies, no allocation.
+func (ev *Evaluator) modUp(ext, d, dCoeff *ring.Poly, lo, hi, lvl int) {
 	p := ev.p
 	rq := p.RingQP
-	n := p.N()
-	total := p.L + p.Alpha
 
 	src := make([]int, 0, hi-lo)
 	for i := lo; i < hi; i++ {
@@ -307,44 +375,51 @@ func (ev *Evaluator) modUp(d, dCoeff *ring.Poly, lo, hi, lvl int) *ring.Poly {
 	}
 	dst = append(dst, p.pLimbs()...)
 
-	ext := ring.NewPoly(total, n)
 	for _, i := range src {
 		copy(ext.Coeffs[i], d.Coeffs[i])
 	}
 	if len(dst) > 0 {
 		conv := p.converter(src, dst)
-		in := rns.AllocLimbs(len(src), n)
+		in := ev.rows(len(src))
 		for si, i := range src {
-			copy(in[si], dCoeff.Coeffs[i])
+			in[si] = dCoeff.Coeffs[i]
 		}
-		out := conv.ConvertApprox(in)
+		out := ev.rowsOut(len(dst))
 		for di, i := range dst {
-			copy(ext.Coeffs[i], out[di])
+			out[di] = ext.Coeffs[i]
+		}
+		conv.ConvertApproxInto(out, in)
+		for _, i := range dst {
 			rq.NTTLimb(i, ext.Coeffs[i])
 			ev.Kc.NTTLimbs++
 		}
 		ev.Kc.BConvCalls++
 	}
-	return ext
 }
 
 // modDown divides an NTT-domain accumulator over Q_lvl ∪ P by P:
-// INTT the special limbs, convert them to Q_lvl, NTT, subtract, and
-// multiply by P⁻¹ mod q_i.
+// INTT the special limbs (in place — the accumulator is keySwitch
+// scratch whose P limbs are dead afterwards), convert them to Q_lvl,
+// NTT, subtract, and multiply by P⁻¹ mod q_i.
 func (ev *Evaluator) modDown(acc *ring.Poly, lvl int) *ring.Poly {
 	p := ev.p
 	rq := p.RingQP
 	n := p.N()
 
 	pIdx := p.pLimbs()
-	in := rns.AllocLimbs(len(pIdx), n)
+	in := ev.rows(len(pIdx))
 	for si, i := range pIdx {
-		copy(in[si], acc.Coeffs[i])
+		in[si] = acc.Coeffs[i]
 		rq.INTTLimb(i, in[si])
 		ev.Kc.INTTLimbs++
 	}
 	conv := p.converter(pIdx, qLimbs(lvl))
-	out := conv.ConvertApprox(in)
+	outS := ev.getPoly(lvl+1, false)
+	out := ev.rowsOut(lvl + 1)
+	for i := 0; i <= lvl; i++ {
+		out[i] = outS.view.Coeffs[i]
+	}
+	conv.ConvertApproxInto(out, in)
 	ev.Kc.BConvCalls++
 
 	res := ring.NewPoly(lvl+1, n)
@@ -359,6 +434,7 @@ func (ev *Evaluator) modDown(acc *ring.Poly, lvl int) *ring.Poly {
 			res.Coeffs[i][k] = m.ShoupMulFull(diff, inv, invS)
 		}
 	}
+	ev.putPoly(outS)
 	ev.Kc.VecAddN += lvl + 1
 	ev.Kc.VecMulN += lvl + 1
 	return res

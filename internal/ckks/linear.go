@@ -26,19 +26,25 @@ func (ev *Evaluator) decompose(c1 *ring.Poly, lvl int) *hoistedDecomposition {
 	rq := p.RingQP
 	dnum := p.NumDigits(lvl)
 
-	dCoeff := ring.NewPoly(lvl+1, p.N())
+	dCoeffS := ev.getPoly(lvl+1, false)
+	dCoeff := &dCoeffS.view
 	dCoeff.Copy(c1)
 	rq.INTT(dCoeff)
 	ev.Kc.INTTLimbs += lvl + 1
 
+	// The extended digits outlive this call (they are shared across all
+	// hoisted rotations), so they are real allocations, not scratch.
 	h := &hoistedDecomposition{level: lvl, exts: make([]*ring.Poly, 0, dnum)}
 	for j := 0; j < dnum; j++ {
 		lo, hi, ok := p.digitRange(j, lvl)
 		if !ok {
 			break
 		}
-		h.exts = append(h.exts, ev.modUp(c1, dCoeff, lo, hi, lvl))
+		ext := ring.NewPoly(p.L+p.Alpha, p.N())
+		ev.modUp(ext, c1, dCoeff, lo, hi, lvl)
+		h.exts = append(h.exts, ext)
 	}
+	ev.putPoly(dCoeffS)
 	return h
 }
 
@@ -52,11 +58,11 @@ func (ev *Evaluator) applyHoisted(h *hoistedDecomposition, idx []int, swk *Switc
 	lvl := h.level
 	total := p.L + p.Alpha
 
-	acc0 := ring.NewPoly(total, n)
-	acc1 := ring.NewPoly(total, n)
+	acc0S := ev.getPoly(total, true)
+	acc1S := ev.getPoly(total, true)
+	tmpS := ev.getPoly(total, false)
+	acc0, acc1, tmp := &acc0S.view, &acc1S.view, &tmpS.view
 	extLimbs := append(qLimbs(lvl), p.pLimbs()...)
-
-	tmp := ring.NewPoly(total, n)
 	for j, ext := range h.exts {
 		src := ext
 		if idx != nil {
@@ -81,7 +87,12 @@ func (ev *Evaluator) applyHoisted(h *hoistedDecomposition, idx []int, swk *Switc
 		ev.Kc.VecMulN += 2 * len(extLimbs)
 		ev.Kc.VecAddN += 2 * len(extLimbs)
 	}
-	return ev.modDown(acc0, lvl), ev.modDown(acc1, lvl)
+	ev.putPoly(tmpS)
+	b := ev.modDown(acc0, lvl)
+	a := ev.modDown(acc1, lvl)
+	ev.putPoly(acc0S)
+	ev.putPoly(acc1S)
+	return b, a
 }
 
 // RotateHoisted rotates one ciphertext by several amounts, sharing the
@@ -104,14 +115,9 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, ks []int) ([]*Ciphertext, err
 		if !ok {
 			return nil, fmt.Errorf("ckks: no Galois key for rotation %d", k)
 		}
-		idx, ok := ev.auto[g]
-		if !ok {
-			var err error
-			idx, err = rq.AutomorphismNTTIndex(g)
-			if err != nil {
-				return nil, err
-			}
-			ev.auto[g] = idx
+		idx, err := rq.AutomorphismNTTIndex(g)
+		if err != nil {
+			return nil, err
 		}
 		ks0, ks1 := ev.applyHoisted(h, idx, &gk.SwitchingKey)
 		c0 := ring.NewPoly(lvl+1, n)

@@ -67,12 +67,18 @@ func NewNTTExecutor(rg *ring.Ring, plan *ring.MatNTTPlan) (*NTTExecutor, error) 
 
 func transposeFlat(a []uint64, rows, cols int) []uint64 {
 	out := make([]uint64, len(a))
+	transposeFlatInto(out, a, rows, cols)
+	return out
+}
+
+// transposeFlatInto writes the transpose of a (rows×cols) into out
+// (cols×rows). out must not alias a.
+func transposeFlatInto(out, a []uint64, rows, cols int) {
 	for i := 0; i < rows; i++ {
 		for j := 0; j < cols; j++ {
 			out[j*rows+i] = a[i*cols+j]
 		}
 	}
-	return out
 }
 
 // ForwardLimb executes the full CROSS NTT pipeline for one limb using
@@ -83,41 +89,58 @@ func transposeFlat(a []uint64, rows, cols int) []uint64 {
 //
 // Output matches ring.MatNTTPlan.ForwardLimb bit-exactly.
 func (ex *NTTExecutor) ForwardLimb(i int, in []uint64) ([]uint64, error) {
+	out := make([]uint64, len(in))
+	if err := ex.ForwardLimbInto(i, in, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForwardLimbInto is ForwardLimb with a caller-provided destination;
+// all intermediates come from the ring's shared scratch arena (R·C ==
+// N words each), so the steady state allocates nothing. in and out
+// may alias.
+func (ex *NTTExecutor) ForwardLimbInto(i int, in, out []uint64) error {
 	lm := ex.limbs[i]
 	m := ex.Ring.Moduli[i]
 	r, c := ex.R, ex.C
 	if len(in) != r*c {
-		return nil, fmt.Errorf("cross: input length %d != N=%d", len(in), r*c)
+		return fmt.Errorf("cross: input length %d != N=%d", len(in), r*c)
+	}
+	if len(out) != r*c {
+		return fmt.Errorf("cross: output length %d != N=%d", len(out), r*c)
 	}
 
 	// Step 1: A = T1 @ X with X the C×R reshape of the input.
-	a, err := lm.step1.Mul(in, r)
-	if err != nil {
-		return nil, err
+	ab := ex.Ring.GetScratch()
+	defer ex.Ring.PutScratch(ab)
+	a := (*ab)[:c*r]
+	if err := lm.step1.MulInto(a, in, r, 1); err != nil {
+		return err
 	}
 	// Step 2: element-wise twist (VPU).
-	for k := range a {
-		a[k] = m.ShoupMulFull(a[k], lm.tw[k], lm.twS[k])
-	}
+	m.VecMulModShoup(a, a, lm.tw, lm.twS)
 	// Step 3: Y = Ã @ T3 evaluated as Yᵀ = T3ᵀ @ Ãᵀ (MAT transpose
 	// identity; the "transpose" of operands is a compile-time reindex,
 	// not a runtime shuffle — we simply read Ã column-major).
-	aT := transposeFlat(a, c, r)
-	yT, err := lm.step3.Mul(aT, c)
-	if err != nil {
-		return nil, err
+	atb := ex.Ring.GetScratch()
+	defer ex.Ring.PutScratch(atb)
+	aT := (*atb)[:c*r]
+	transposeFlatInto(aT, a, c, r)
+	yT := a // step-1 buffer is free again after the transpose
+	if err := lm.step3.MulInto(yT, aT, c, 1); err != nil {
+		return err
 	}
-	return transposeFlat(yT, r, c), nil
+	transposeFlatInto(out, yT, r, c)
+	return nil
 }
 
-// Forward executes every limb of a polynomial.
+// Forward executes every limb of a polynomial in place.
 func (ex *NTTExecutor) Forward(p *ring.Poly) error {
 	for i := 0; i <= p.Level(); i++ {
-		out, err := ex.ForwardLimb(i, p.Coeffs[i])
-		if err != nil {
+		if err := ex.ForwardLimbInto(i, p.Coeffs[i], p.Coeffs[i]); err != nil {
 			return err
 		}
-		copy(p.Coeffs[i], out)
 	}
 	return nil
 }

@@ -1,0 +1,63 @@
+package hostbench
+
+import "testing"
+
+func rec(id string, ns, allocs float64) Record {
+	return Record{ID: id, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestDiffClassification(t *testing.T) {
+	old := []Record{
+		rec("a", 100, 0), rec("b", 100, 0), rec("c", 100, 0),
+		rec("d", 100, 2), rec("gone", 50, 0),
+	}
+	cur := []Record{
+		rec("a", 110, 0),  // +10% < threshold → unchanged
+		rec("b", 160, 0),  // +60% → regression
+		rec("c", 100, 1),  // allocs drifted 0→1 → regression despite flat ns
+		rec("d", 10, 1),   // faster AND fewer allocs → improvement
+		rec("new", 10, 0), // coverage drift
+	}
+	d := Diff(old, cur, 0.25)
+	if !d.HasRegressions() {
+		t.Fatal("expected regressions")
+	}
+	if len(d.Regressions) != 2 {
+		t.Fatalf("regressions = %+v, want b and c", d.Regressions)
+	}
+	got := map[string]bool{}
+	for _, r := range d.Regressions {
+		got[r.ID] = true
+	}
+	if !got["b"] || !got["c"] {
+		t.Fatalf("regressions = %+v, want b (ns) and c (allocs)", d.Regressions)
+	}
+	if len(d.Improvements) != 1 || d.Improvements[0].ID != "d" {
+		t.Fatalf("improvements = %+v, want d", d.Improvements)
+	}
+	if d.Unchanged != 1 {
+		t.Fatalf("unchanged = %d, want 1 (a)", d.Unchanged)
+	}
+	if len(d.OnlyInOld) != 1 || d.OnlyInOld[0] != "gone" {
+		t.Fatalf("onlyInOld = %v", d.OnlyInOld)
+	}
+	if len(d.OnlyInNew) != 1 || d.OnlyInNew[0] != "new" {
+		t.Fatalf("onlyInNew = %v", d.OnlyInNew)
+	}
+}
+
+func TestDiffAllocsStrictAtZeroThreshold(t *testing.T) {
+	// Even with a huge ns threshold, one extra alloc/op must gate.
+	d := Diff([]Record{rec("k", 100, 0)}, []Record{rec("k", 100, 0.5)}, 10)
+	if !d.HasRegressions() {
+		t.Fatal("alloc drift must be a regression at any ns threshold")
+	}
+}
+
+func TestDiffIdenticalRunsClean(t *testing.T) {
+	rs := []Record{rec("x", 123, 0), rec("y", 456, 3)}
+	d := Diff(rs, rs, 0.25)
+	if d.HasRegressions() || len(d.Improvements) != 0 || d.Unchanged != 2 {
+		t.Fatalf("self-diff not clean: %+v", d)
+	}
+}

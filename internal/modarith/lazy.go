@@ -1,0 +1,149 @@
+package modarith
+
+import "math/bits"
+
+// Lazy-bound vector kernels (§G's pipeline discipline on the host).
+// The strict kernels in vec.go keep every intermediate in [0, q); the
+// kernels here keep values in the relaxed range [0, 2q) between
+// pipeline stages and defer the final conditional subtraction to one
+// correction pass (VecCorrectLazy) at the end of the chain — exactly
+// the lazy-reduction discipline the paper applies between NTT stages
+// and across VecMod pipelines. Chaining rules:
+//
+//	kernel               input bound   output bound
+//	VecAddModLazy        [0, 2q)       [0, 2q)
+//	VecSubModLazy        [0, 2q)       [0, 2q)
+//	VecMulModShoupLazy   [0, 2^64)     [0, 2q)   (Harvey's bound)
+//	VecCorrectLazy       [0, 2q)       [0, q)
+//
+// Every kernel is 4×-unrolled; the scalar tail handles len mod 4. The
+// strict kernels remain the bit-exactness oracle: for inputs in
+// [0, q), lazy-kernel chains followed by VecCorrectLazy are
+// bit-identical to the strict pipeline (fuzzed in fuzz_test.go).
+
+// VecAddModLazy computes dst[i] = a[i] + b[i] keeping the lazy bound:
+// inputs in [0, 2q), outputs in [0, 2q). dst may alias a or b.
+func (m *Modulus) VecAddModLazy(dst, a, b []uint64) {
+	checkLen3(dst, a, b)
+	twoQ := m.qTimes2
+	i := 0
+	for ; i <= len(dst)-4; i += 4 {
+		s0 := a[i] + b[i]
+		s1 := a[i+1] + b[i+1]
+		s2 := a[i+2] + b[i+2]
+		s3 := a[i+3] + b[i+3]
+		if s0 >= twoQ {
+			s0 -= twoQ
+		}
+		if s1 >= twoQ {
+			s1 -= twoQ
+		}
+		if s2 >= twoQ {
+			s2 -= twoQ
+		}
+		if s3 >= twoQ {
+			s3 -= twoQ
+		}
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = s0, s1, s2, s3
+	}
+	for ; i < len(dst); i++ {
+		s := a[i] + b[i]
+		if s >= twoQ {
+			s -= twoQ
+		}
+		dst[i] = s
+	}
+}
+
+// VecSubModLazy computes dst[i] = a[i] − b[i] (mod q) in the lazy
+// range: inputs in [0, 2q), outputs in [0, 2q). dst may alias a or b.
+func (m *Modulus) VecSubModLazy(dst, a, b []uint64) {
+	checkLen3(dst, a, b)
+	twoQ := m.qTimes2
+	i := 0
+	for ; i <= len(dst)-4; i += 4 {
+		d0 := a[i] + twoQ - b[i]
+		d1 := a[i+1] + twoQ - b[i+1]
+		d2 := a[i+2] + twoQ - b[i+2]
+		d3 := a[i+3] + twoQ - b[i+3]
+		if d0 >= twoQ {
+			d0 -= twoQ
+		}
+		if d1 >= twoQ {
+			d1 -= twoQ
+		}
+		if d2 >= twoQ {
+			d2 -= twoQ
+		}
+		if d3 >= twoQ {
+			d3 -= twoQ
+		}
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = d0, d1, d2, d3
+	}
+	for ; i < len(dst); i++ {
+		d := a[i] + twoQ - b[i]
+		if d >= twoQ {
+			d -= twoQ
+		}
+		dst[i] = d
+	}
+}
+
+// VecMulModShoupLazy computes dst[i] = a[i]·w[i] mod q with the final
+// conditional subtraction deferred: outputs in [0, 2q). Valid for any
+// a[i] < 2^64 (Harvey's bound); w must be reduced with quotients
+// wShoup. dst may alias a.
+func (m *Modulus) VecMulModShoupLazy(dst, a, w, wShoup []uint64) {
+	checkLen3(dst, a, w)
+	if len(w) != len(wShoup) {
+		panic("modarith: shoup quotient length mismatch")
+	}
+	q := m.Q
+	i := 0
+	for ; i <= len(dst)-4; i += 4 {
+		h0, _ := bits.Mul64(a[i], wShoup[i])
+		h1, _ := bits.Mul64(a[i+1], wShoup[i+1])
+		h2, _ := bits.Mul64(a[i+2], wShoup[i+2])
+		h3, _ := bits.Mul64(a[i+3], wShoup[i+3])
+		dst[i] = a[i]*w[i] - h0*q
+		dst[i+1] = a[i+1]*w[i+1] - h1*q
+		dst[i+2] = a[i+2]*w[i+2] - h2*q
+		dst[i+3] = a[i+3]*w[i+3] - h3*q
+	}
+	for ; i < len(dst); i++ {
+		hi, _ := bits.Mul64(a[i], wShoup[i])
+		dst[i] = a[i]*w[i] - hi*q
+	}
+}
+
+// VecCorrectLazy maps a lazy vector in [0, 2q) back to the canonical
+// range [0, q) — the single correction pass that terminates a lazy
+// chain. dst may alias a.
+func (m *Modulus) VecCorrectLazy(dst, a []uint64) {
+	checkLen2(dst, a)
+	q := m.Q
+	i := 0
+	for ; i <= len(dst)-4; i += 4 {
+		x0, x1, x2, x3 := a[i], a[i+1], a[i+2], a[i+3]
+		if x0 >= q {
+			x0 -= q
+		}
+		if x1 >= q {
+			x1 -= q
+		}
+		if x2 >= q {
+			x2 -= q
+		}
+		if x3 >= q {
+			x3 -= q
+		}
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = x0, x1, x2, x3
+	}
+	for ; i < len(dst); i++ {
+		x := a[i]
+		if x >= q {
+			x -= q
+		}
+		dst[i] = x
+	}
+}

@@ -1,5 +1,7 @@
 package modarith
 
+import "math/bits"
+
 // Vectorised modular kernels (Tab. III primitives). These are the
 // element-wise operations that the paper profiles as VecModAdd,
 // VecModSub, and VecModMul (Fig. 14) and that CROSS maps to the TPU VPU.
@@ -26,7 +28,27 @@ func checkLen2(dst, a []uint64) {
 func (m *Modulus) VecAddMod(dst, a, b []uint64) {
 	checkLen3(dst, a, b)
 	q := m.Q
-	for i := range dst {
+	i := 0
+	for ; i <= len(dst)-4; i += 4 {
+		s0 := a[i] + b[i]
+		s1 := a[i+1] + b[i+1]
+		s2 := a[i+2] + b[i+2]
+		s3 := a[i+3] + b[i+3]
+		if s0 >= q {
+			s0 -= q
+		}
+		if s1 >= q {
+			s1 -= q
+		}
+		if s2 >= q {
+			s2 -= q
+		}
+		if s3 >= q {
+			s3 -= q
+		}
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = s0, s1, s2, s3
+	}
+	for ; i < len(dst); i++ {
 		s := a[i] + b[i]
 		if s >= q {
 			s -= q
@@ -39,7 +61,27 @@ func (m *Modulus) VecAddMod(dst, a, b []uint64) {
 func (m *Modulus) VecSubMod(dst, a, b []uint64) {
 	checkLen3(dst, a, b)
 	q := m.Q
-	for i := range dst {
+	i := 0
+	for ; i <= len(dst)-4; i += 4 {
+		d0 := a[i] + q - b[i]
+		d1 := a[i+1] + q - b[i+1]
+		d2 := a[i+2] + q - b[i+2]
+		d3 := a[i+3] + q - b[i+3]
+		if d0 >= q {
+			d0 -= q
+		}
+		if d1 >= q {
+			d1 -= q
+		}
+		if d2 >= q {
+			d2 -= q
+		}
+		if d3 >= q {
+			d3 -= q
+		}
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = d0, d1, d2, d3
+	}
+	for ; i < len(dst); i++ {
 		d := a[i] + q - b[i]
 		if d >= q {
 			d -= q
@@ -93,7 +135,49 @@ func (m *Modulus) vecMulMont(dst, a, b []uint64) {
 
 // VecMulModShoup computes dst[i] = a[i]·w[i] mod q where w is a
 // compile-time-known vector with precomputed Shoup quotients wShoup.
+// Internally it runs the lazy kernel and one deferred correction pass;
+// the output is fully reduced to [0, q), bit-identical to
+// VecMulModShoupStrict.
 func (m *Modulus) VecMulModShoup(dst, a, w, wShoup []uint64) {
+	checkLen3(dst, a, w)
+	if len(w) != len(wShoup) {
+		panic("modarith: shoup quotient length mismatch")
+	}
+	q := m.Q
+	i := 0
+	for ; i <= len(dst)-4; i += 4 {
+		h0, _ := bits.Mul64(a[i], wShoup[i])
+		h1, _ := bits.Mul64(a[i+1], wShoup[i+1])
+		h2, _ := bits.Mul64(a[i+2], wShoup[i+2])
+		h3, _ := bits.Mul64(a[i+3], wShoup[i+3])
+		r0 := a[i]*w[i] - h0*q
+		r1 := a[i+1]*w[i+1] - h1*q
+		r2 := a[i+2]*w[i+2] - h2*q
+		r3 := a[i+3]*w[i+3] - h3*q
+		if r0 >= q {
+			r0 -= q
+		}
+		if r1 >= q {
+			r1 -= q
+		}
+		if r2 >= q {
+			r2 -= q
+		}
+		if r3 >= q {
+			r3 -= q
+		}
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = r0, r1, r2, r3
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = m.ShoupMulFull(a[i], w[i], wShoup[i])
+	}
+}
+
+// VecMulModShoupStrict is the retained strict-reduction reference for
+// VecMulModShoup: one fully-corrected Shoup multiplication per element,
+// no unrolling, no laziness. It is the oracle the table-driven and
+// fuzz suites compare the lazy kernels against.
+func (m *Modulus) VecMulModShoupStrict(dst, a, w, wShoup []uint64) {
 	checkLen3(dst, a, w)
 	if len(w) != len(wShoup) {
 		panic("modarith: shoup quotient length mismatch")
@@ -105,10 +189,42 @@ func (m *Modulus) VecMulModShoup(dst, a, w, wShoup []uint64) {
 
 // VecScalarMulMod computes dst[i] = a[i]·c mod q for a runtime scalar c.
 func (m *Modulus) VecScalarMulMod(dst, a []uint64, c uint64) {
-	checkLen2(dst, a)
 	w := c % m.Q
-	ws := m.ShoupPrecompute(w)
-	for i := range dst {
+	m.VecScalarMulModShoup(dst, a, w, m.ShoupPrecompute(w))
+}
+
+// VecScalarMulModShoup computes dst[i] = a[i]·w mod q for a constant
+// scalar w in [0, q) with precomputed Shoup quotient ws. The loop is
+// 4×-unrolled with one deferred correction per element; the output is
+// fully reduced. dst may alias a.
+func (m *Modulus) VecScalarMulModShoup(dst, a []uint64, w, ws uint64) {
+	checkLen2(dst, a)
+	q := m.Q
+	i := 0
+	for ; i <= len(dst)-4; i += 4 {
+		h0, _ := bits.Mul64(a[i], ws)
+		h1, _ := bits.Mul64(a[i+1], ws)
+		h2, _ := bits.Mul64(a[i+2], ws)
+		h3, _ := bits.Mul64(a[i+3], ws)
+		r0 := a[i]*w - h0*q
+		r1 := a[i+1]*w - h1*q
+		r2 := a[i+2]*w - h2*q
+		r3 := a[i+3]*w - h3*q
+		if r0 >= q {
+			r0 -= q
+		}
+		if r1 >= q {
+			r1 -= q
+		}
+		if r2 >= q {
+			r2 -= q
+		}
+		if r3 >= q {
+			r3 -= q
+		}
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = r0, r1, r2, r3
+	}
+	for ; i < len(dst); i++ {
 		dst[i] = m.ShoupMulFull(a[i], w, ws)
 	}
 }

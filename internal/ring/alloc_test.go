@@ -1,0 +1,90 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+
+	"cross/internal/modarith"
+)
+
+// The allocation-free discipline of the hot paths is part of the API
+// contract (ISSUE 4 / DESIGN.md §11): steady-state transforms must not
+// touch the heap. These tests pin that with testing.AllocsPerRun; the
+// hostbench CI gate additionally holds allocs/op at zero drift.
+
+func TestNTTInPlaceZeroAllocs(t *testing.T) {
+	n := 1 << 10
+	primes, err := modarith.GenerateNTTPrimes(28, uint64(n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := MustRing(n, primes)
+	rng := rand.New(rand.NewSource(5))
+	buf := make([]uint64, n)
+	for i := range buf {
+		buf[i] = rng.Uint64() % primes[0]
+	}
+	if avg := testing.AllocsPerRun(100, func() { rg.NTTInPlace(0, buf) }); avg != 0 {
+		t.Fatalf("NTTInPlace allocates %.2f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { rg.INTTInPlace(0, buf) }); avg != 0 {
+		t.Fatalf("INTTInPlace allocates %.2f/op, want 0", avg)
+	}
+}
+
+func TestMatNTTZeroAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under -race; pooled paths cannot hold 0 allocs/op")
+	}
+	n := 1 << 10
+	primes, err := modarith.GenerateNTTPrimes(28, uint64(n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := MustRing(n, primes)
+	plan, err := NewMatNTTPlan(rg, 32, 32, LayoutBitRev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	in := make([]uint64, n)
+	for i := range in {
+		in[i] = rng.Uint64() % primes[0]
+	}
+	out := make([]uint64, n)
+	// Warm the arena so the pool holds its buffers before measuring.
+	plan.ForwardLimb(0, in, out)
+	plan.InverseLimb(0, out, out)
+	if avg := testing.AllocsPerRun(100, func() { plan.ForwardLimb(0, in, out) }); avg != 0 {
+		t.Fatalf("MatNTT ForwardLimb allocates %.2f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { plan.InverseLimb(0, out, out) }); avg != 0 {
+		t.Fatalf("MatNTT InverseLimb (in-place) allocates %.2f/op, want 0", avg)
+	}
+}
+
+func TestAutomorphismNTTZeroAllocs(t *testing.T) {
+	n := 1 << 10
+	primes, err := modarith.GenerateNTTPrimes(28, uint64(n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := MustRing(n, primes)
+	idx, err := rg.AutomorphismNTTIndex(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, out := NewPoly(1, n), NewPoly(1, n)
+	if avg := testing.AllocsPerRun(100, func() { rg.AutomorphismNTT(in, out, idx) }); avg != 0 {
+		t.Fatalf("AutomorphismNTT allocates %.2f/op, want 0", avg)
+	}
+	// The cached index lookup itself must also be free after the first
+	// build (one table per galois element, shared across views).
+	if avg := testing.AllocsPerRun(100, func() {
+		if _, err := rg.AutomorphismNTTIndex(5); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("cached AutomorphismNTTIndex allocates %.2f/op, want 0", avg)
+	}
+}

@@ -40,9 +40,13 @@ func (r *Ring) AutomorphismCoeff(in, out *Poly, t uint64) error {
 	return nil
 }
 
-// AutomorphismNTTIndex precomputes the slot permutation implementing τ_t
-// on bit-reverse-ordered NTT vectors (the output convention of NTTLimb):
-// out[k] = in[index[k]].
+// AutomorphismNTTIndex returns the slot permutation implementing τ_t
+// on bit-reverse-ordered NTT vectors (the output convention of
+// NTTInPlace): out[k] = in[index[k]]. Tables are built once per galois
+// element and cached in the ring's arena (shared across AtLevel and
+// WithParallelism views), so repeated calls — one per key-switch hop —
+// allocate nothing. The returned slice is the live cache entry and
+// must not be mutated.
 //
 // Derivation: array slot p holds the evaluation at root ψ^(2·brv(p)+1).
 // τ_t maps the evaluation at exponent e to the evaluation at t·e mod 2N,
@@ -51,6 +55,9 @@ func (r *Ring) AutomorphismCoeff(in, out *Poly, t uint64) error {
 func (r *Ring) AutomorphismNTTIndex(t uint64) ([]int, error) {
 	if err := r.checkGaloisElement(t); err != nil {
 		return nil, err
+	}
+	if cached, ok := r.scratch.auto.Load(t); ok {
+		return cached.([]int), nil
 	}
 	n := uint64(r.N)
 	twoN := 2 * n
@@ -62,7 +69,8 @@ func (r *Ring) AutomorphismNTTIndex(t uint64) ([]int, error) {
 		jSrc := (e - 1) / 2         // natural index holding that exponent
 		index[p] = int(bitReverse(jSrc, logN))
 	}
-	return index, nil
+	actual, _ := r.scratch.auto.LoadOrStore(t, index)
+	return actual.([]int), nil
 }
 
 // AutomorphismNTT applies τ_t to a polynomial in the NTT domain using a

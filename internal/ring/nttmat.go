@@ -227,19 +227,21 @@ func (p *MatNTTPlan) InverseMatrices(i int) (t3Inv, twInv, t1Inv []uint64) {
 }
 
 // ForwardLimb transforms one limb: in (natural coefficient order, length
-// N) to the plan's evaluation layout. in and out may alias.
+// N) to the plan's evaluation layout. in and out may alias. Scratch
+// comes from the ring's arena, so steady-state calls allocate nothing.
 func (p *MatNTTPlan) ForwardLimb(i int, in, out []uint64) {
 	lm := p.limbs[i]
 	r, c := p.R, p.C
-	tmp := make([]uint64, c*r)
+	ar := p.ring.scratch
+	tb := p.ring.GetScratch()
+	tmp := (*tb)[:c*r]
 	// Step 1: A = T1 @ X, X[cc][rr] = in[cc·R+rr].
-	matMulConstLeft(lm.m, lm.t1, lm.t1S, c, c, in, r, tmp)
+	matMulConstLeft(lm.m, lm.t1, lm.t1S, c, c, in, r, tmp, ar)
 	// Step 2: A ⊙ TW (VPU-mapped element-wise twist).
-	for k := range tmp {
-		tmp[k] = lm.m.ShoupMulFull(tmp[k], lm.tw[k], lm.twS[k])
-	}
+	lm.m.VecMulModShoup(tmp, tmp, lm.tw, lm.twS)
 	// Step 3: Y = Ã @ T3.
-	matMulConstRight(lm.m, tmp, c, r, lm.t3, lm.t3S, r, out)
+	matMulConstRight(lm.m, tmp, c, r, lm.t3, lm.t3S, r, out, ar)
+	p.ring.PutScratch(tb)
 }
 
 // InverseLimb inverts ForwardLimb: evaluation layout back to natural
@@ -247,15 +249,16 @@ func (p *MatNTTPlan) ForwardLimb(i int, in, out []uint64) {
 func (p *MatNTTPlan) InverseLimb(i int, in, out []uint64) {
 	lm := p.limbs[i]
 	r, c := p.R, p.C
-	tmp := make([]uint64, c*r)
+	ar := p.ring.scratch
+	tb := p.ring.GetScratch()
+	tmp := (*tb)[:c*r]
 	// Step 1': U = Z @ T3inv.
-	matMulConstRight(lm.m, in, c, r, lm.t3Inv, lm.t3InvS, r, tmp)
+	matMulConstRight(lm.m, in, c, r, lm.t3Inv, lm.t3InvS, r, tmp, ar)
 	// Step 2': ⊙ TWinv.
-	for k := range tmp {
-		tmp[k] = lm.m.ShoupMulFull(tmp[k], lm.twInv[k], lm.twInvS[k])
-	}
+	lm.m.VecMulModShoup(tmp, tmp, lm.twInv, lm.twInvS)
 	// Step 3': X = T1inv @ Ũ.
-	matMulConstLeft(lm.m, lm.t1Inv, lm.t1InvS, c, c, tmp, r, out)
+	matMulConstLeft(lm.m, lm.t1Inv, lm.t1InvS, c, c, tmp, r, out, ar)
+	p.ring.PutScratch(tb)
 }
 
 // Forward transforms every limb of p into the plan's layout,
@@ -282,7 +285,8 @@ func (p *MatNTTPlan) Forward4Step(i int, in, out []uint64) {
 		panic("ring: Forward4Step requires a LayoutDigitSwap plan")
 	}
 	r, c := p.R, p.C
-	y := make([]uint64, c*r)
+	yb := p.ring.GetScratch()
+	y := (*yb)[:c*r]
 	p.ForwardLimb(i, in, y)
 	// Explicit transpose: natural out[j1·C+j2] = Y[j2][j1].
 	for j2 := 0; j2 < c; j2++ {
@@ -290,6 +294,7 @@ func (p *MatNTTPlan) Forward4Step(i int, in, out []uint64) {
 			out[j1*c+j2] = y[j2*r+j1]
 		}
 	}
+	p.ring.PutScratch(yb)
 }
 
 // Inverse4Step inverts Forward4Step from natural order.
@@ -298,13 +303,15 @@ func (p *MatNTTPlan) Inverse4Step(i int, in, out []uint64) {
 		panic("ring: Inverse4Step requires a LayoutDigitSwap plan")
 	}
 	r, c := p.R, p.C
-	y := make([]uint64, c*r)
+	yb := p.ring.GetScratch()
+	y := (*yb)[:c*r]
 	for j2 := 0; j2 < c; j2++ {
 		for j1 := 0; j1 < r; j1++ {
 			y[j2*r+j1] = in[j1*c+j2]
 		}
 	}
 	p.InverseLimb(i, y, out)
+	p.ring.PutScratch(yb)
 }
 
 // lazyAccumBound reports how many [0,2q) terms can be summed in a uint64
@@ -317,20 +324,30 @@ func lazyAccumBound(q uint64) int {
 	return int(maxTerms)
 }
 
+// aliasScratch resolves the destination for an in-place matrix product:
+// when x and out share backing, the result is staged in an arena buffer
+// (or a fresh one if no arena fits) and copied out at the end.
+func aliasScratch(x, out []uint64, size int, ar *arena) (res []uint64, borrowed *[]uint64) {
+	if !sameBacking(x, out) {
+		return out, nil
+	}
+	if ar != nil && size <= ar.n {
+		b := ar.pool.Get().(*[]uint64)
+		return (*b)[:size], b
+	}
+	return make([]uint64, size), nil
+}
+
 // matMulConstLeft computes out = A @ X where A (rows×inner, with Shoup
 // table AS) is a compile-time constant and X is inner×cols runtime data.
-// All matrices are flat row-major.
-func matMulConstLeft(m *modarith.Modulus, a, aS []uint64, rows, inner int, x []uint64, cols int, out []uint64) {
+// All matrices are flat row-major. ar supplies aliasing scratch (nil
+// falls back to allocation).
+func matMulConstLeft(m *modarith.Modulus, a, aS []uint64, rows, inner int, x []uint64, cols int, out []uint64, ar *arena) {
 	if lazyAccumBound(m.Q) < inner {
-		matMulConstLeftSafe(m, a, rows, inner, x, cols, out)
+		matMulConstLeftSafe(m, a, rows, inner, x, cols, out, ar)
 		return
 	}
-	res := out
-	var scratch []uint64
-	if sameBacking(x, out) {
-		scratch = make([]uint64, rows*cols)
-		res = scratch
-	}
+	res, borrowed := aliasScratch(x, out, rows*cols, ar)
 	for i := 0; i < rows; i++ {
 		arow := a[i*inner : (i+1)*inner]
 		asrow := aS[i*inner : (i+1)*inner]
@@ -342,20 +359,18 @@ func matMulConstLeft(m *modarith.Modulus, a, aS []uint64, rows, inner int, x []u
 			res[i*cols+j] = m.Reduce(acc)
 		}
 	}
-	if scratch != nil {
-		copy(out, scratch)
+	if borrowed != nil || sameBacking(x, out) {
+		copy(out, res)
+	}
+	if borrowed != nil && ar != nil {
+		ar.pool.Put(borrowed)
 	}
 }
 
 // matMulConstLeftSafe is the wide-modulus fallback with per-term
 // reduction.
-func matMulConstLeftSafe(m *modarith.Modulus, a []uint64, rows, inner int, x []uint64, cols int, out []uint64) {
-	res := out
-	var scratch []uint64
-	if sameBacking(x, out) {
-		scratch = make([]uint64, rows*cols)
-		res = scratch
-	}
+func matMulConstLeftSafe(m *modarith.Modulus, a []uint64, rows, inner int, x []uint64, cols int, out []uint64, ar *arena) {
+	res, borrowed := aliasScratch(x, out, rows*cols, ar)
 	for i := 0; i < rows; i++ {
 		for j := 0; j < cols; j++ {
 			var acc uint64
@@ -365,21 +380,19 @@ func matMulConstLeftSafe(m *modarith.Modulus, a []uint64, rows, inner int, x []u
 			res[i*cols+j] = acc
 		}
 	}
-	if scratch != nil {
-		copy(out, scratch)
+	if borrowed != nil || sameBacking(x, out) {
+		copy(out, res)
+	}
+	if borrowed != nil && ar != nil {
+		ar.pool.Put(borrowed)
 	}
 }
 
 // matMulConstRight computes out = X @ B where B (inner×cols, with Shoup
 // table BS) is a compile-time constant and X is rows×inner runtime data.
-func matMulConstRight(m *modarith.Modulus, x []uint64, rows, inner int, b, bS []uint64, cols int, out []uint64) {
+func matMulConstRight(m *modarith.Modulus, x []uint64, rows, inner int, b, bS []uint64, cols int, out []uint64, ar *arena) {
 	safe := lazyAccumBound(m.Q) < inner
-	res := out
-	var scratch []uint64
-	if sameBacking(x, out) {
-		scratch = make([]uint64, rows*cols)
-		res = scratch
-	}
+	res, borrowed := aliasScratch(x, out, rows*cols, ar)
 	for i := 0; i < rows; i++ {
 		xrow := x[i*inner : (i+1)*inner]
 		for j := 0; j < cols; j++ {
@@ -397,8 +410,11 @@ func matMulConstRight(m *modarith.Modulus, x []uint64, rows, inner int, b, bS []
 			res[i*cols+j] = acc
 		}
 	}
-	if scratch != nil {
-		copy(out, scratch)
+	if borrowed != nil || sameBacking(x, out) {
+		copy(out, res)
+	}
+	if borrowed != nil && ar != nil {
+		ar.pool.Put(borrowed)
 	}
 }
 

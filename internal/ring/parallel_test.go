@@ -127,3 +127,37 @@ func TestParallelForCoversAllIndices(t *testing.T) {
 	}
 	parallelFor(4, 0, func(i int) { t.Fatal("called for n=0") })
 }
+
+// TestWithParallelismClampsInvalid is the error-path contract of
+// WithParallelism: zero and negative worker counts are invalid inputs
+// and must clamp to the serial path (never panic, never launch a
+// zero-width pool), and the clamped view must stay bit-identical to
+// the serial transforms.
+func TestWithParallelismClampsInvalid(t *testing.T) {
+	n := 64
+	primes, err := modarith.GenerateNTTPrimes(28, uint64(n), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := MustRing(n, primes)
+	rng := rand.New(rand.NewSource(12))
+	ref := NewPoly(2, n)
+	for i := range ref.Coeffs {
+		for k := range ref.Coeffs[i] {
+			ref.Coeffs[i][k] = rng.Uint64() % primes[i]
+		}
+	}
+	want := ref.CopyNew()
+	r.NTT(want)
+	for _, workers := range []int{0, -1, -1000} {
+		rp := r.WithParallelism(workers)
+		if got := rp.Parallelism(); got != 1 {
+			t.Fatalf("WithParallelism(%d).Parallelism() = %d, want clamp to 1", workers, got)
+		}
+		got := ref.CopyNew()
+		rp.NTT(got)
+		if !got.Equal(want) {
+			t.Fatalf("WithParallelism(%d) NTT diverges from serial", workers)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package ring
+
+// raceEnabled guards steady-state zero-allocation assertions: under
+// the race detector sync.Pool intentionally drops a fraction of Puts
+// (and bypasses per-P caches), so pool-backed paths re-allocate even
+// in steady state. The assertions still run in the plain `go test`
+// CI lane; skipping them under -race avoids nondeterministic reds.
+const raceEnabled = true

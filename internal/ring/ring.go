@@ -30,6 +30,9 @@ type Ring struct {
 	// parallelism is the worker count for whole-polynomial transforms
 	// (0/1 = serial); set via WithParallelism, never mutated in place.
 	parallelism int
+	// scratch is the shared buffer arena + automorphism-table cache;
+	// held by pointer so AtLevel/WithParallelism views pool together.
+	scratch *arena
 }
 
 // NewRing constructs the ring of degree n (a power of two ≥ 8) over the
@@ -43,9 +46,10 @@ func NewRing(n int, primes []uint64) (*Ring, error) {
 		return nil, err
 	}
 	r := &Ring{
-		N:      n,
-		Moduli: moduli,
-		tables: make([]*nttTable, len(moduli)),
+		N:       n,
+		Moduli:  moduli,
+		tables:  make([]*nttTable, len(moduli)),
+		scratch: newArena(n),
 	}
 	for n>>r.LogN != 1 {
 		r.LogN++
@@ -96,6 +100,7 @@ func (r *Ring) AtLevel(level int) (*Ring, error) {
 		Moduli:      r.Moduli[:level+1],
 		tables:      r.tables[:level+1],
 		parallelism: r.parallelism,
+		scratch:     r.scratch,
 	}, nil
 }
 

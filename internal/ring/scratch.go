@@ -1,0 +1,47 @@
+package ring
+
+import "sync"
+
+// arena is the per-Ring scratch allocator: a sync.Pool of N-length
+// uint64 buffers plus the cache of automorphism slot tables. Every hot
+// path that used to `make([]uint64, n)` per call (matrix-NTT
+// intermediates, 4-step transposes, aliasing scratch, rescale copies)
+// borrows from here instead, so steady-state transforms allocate
+// nothing. The arena is created once per NewRing and shared by pointer
+// across every view (AtLevel, WithParallelism) — the views must share
+// it, or per-view pools would defeat the reuse.
+//
+// Ownership rule: a borrowed buffer is owned by the borrower until
+// PutScratch; it must not be retained afterwards, and its contents are
+// undefined at Get (callers overwrite before reading). Buffers are
+// pooled at full ring degree N regardless of the level of the view
+// that borrowed them.
+type arena struct {
+	n    int
+	pool sync.Pool
+	auto sync.Map // galois element (uint64) → []int slot table
+}
+
+func newArena(n int) *arena {
+	a := &arena{n: n}
+	a.pool.New = func() any {
+		b := make([]uint64, n)
+		return &b
+	}
+	return a
+}
+
+// GetScratch borrows an N-length scratch buffer from the ring's arena.
+// Contents are undefined; pair with PutScratch when done.
+func (r *Ring) GetScratch() *[]uint64 {
+	return r.scratch.pool.Get().(*[]uint64)
+}
+
+// PutScratch returns a buffer borrowed with GetScratch to the arena.
+func (r *Ring) PutScratch(b *[]uint64) {
+	if b == nil || cap(*b) < r.scratch.n {
+		return
+	}
+	*b = (*b)[:r.scratch.n]
+	r.scratch.pool.Put(b)
+}

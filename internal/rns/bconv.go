@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"math/bits"
+	"sync"
 )
 
 // Converter implements fast basis conversion (BConv, Fig. 15b) from a
@@ -21,12 +23,28 @@ type Converter struct {
 	// table[j][i] = (Q/q_i) mod p_j; row-major per output limb so that
 	// step 2 is a per-output-limb inner product over input limbs.
 	table [][]uint64
-	// tableShoup[j][i] caches Shoup quotients w.r.t. p_j.
-	tableShoup [][]uint64
 	// qModP[j] = Q mod p_j, used by the exactness correction (−v·Q).
 	qModP []uint64
 	// qInv[i] = 1/q_i as float64 for the HPS overflow estimate v.
 	qInv []float64
+
+	// yPool recycles the step-1 intermediate limb matrix so the
+	// steady-state ConvertApproxInto path allocates nothing.
+	yPool sync.Pool // *limbScratch
+}
+
+// limbScratch is a pooled [L][N] limb matrix with its backing array.
+type limbScratch struct {
+	rows [][]uint64
+	n    int
+}
+
+// getY borrows an l×n limb matrix (contents undefined).
+func (c *Converter) getY(l, n int) *limbScratch {
+	if s, ok := c.yPool.Get().(*limbScratch); ok && len(s.rows) == l && s.n == n {
+		return s
+	}
+	return &limbScratch{rows: allocLimbs(l, n), n: n}
 }
 
 // NewConverter precomputes the BConv constants between two bases. The
@@ -43,12 +61,11 @@ func NewConverter(from, to *Basis) (*Converter, error) {
 		}
 	}
 	c := &Converter{
-		From:       from,
-		To:         to,
-		table:      make([][]uint64, to.L()),
-		tableShoup: make([][]uint64, to.L()),
-		qModP:      make([]uint64, to.L()),
-		qInv:       make([]float64, from.L()),
+		From:  from,
+		To:    to,
+		table: make([][]uint64, to.L()),
+		qModP: make([]uint64, to.L()),
+		qInv:  make([]float64, from.L()),
 	}
 	for i, m := range from.Moduli {
 		c.qInv[i] = 1.0 / float64(m.Q)
@@ -59,7 +76,6 @@ func NewConverter(from, to *Basis) (*Converter, error) {
 			row[i] = bigMod(from.qHat[i], pm.Q)
 		}
 		c.table[j] = row
-		c.tableShoup[j] = pm.ShoupPrecomputeVec(row)
 		c.qModP[j] = bigMod(from.Q, pm.Q)
 	}
 	return c, nil
@@ -76,37 +92,57 @@ func (c *Converter) Step1(out, in [][]uint64) {
 		panic("rns: Step1 limb count mismatch")
 	}
 	for i, m := range c.From.Moduli {
-		w := c.From.qHatInv[i]
-		ws := c.From.qHatInvShoup[i]
-		for k, a := range in[i] {
-			out[i][k] = m.ShoupMulFull(a, w, ws)
-		}
+		m.VecScalarMulModShoup(out[i], in[i], c.From.qHatInv[i], c.From.qHatInvShoup[i])
 	}
 }
 
+// step2Tile is the coefficient-block width of the lazy Step2
+// accumulation: per tile the 128-bit partial sums live in two stack
+// arrays while the limb loop streams each source row sequentially —
+// cache-friendly in both directions.
+const step2Tile = 32
+
 // Step2 computes c_j = Σ_i y_i · table[j][i] mod p_j — the
 // (N, L, L')-ModMatMul. y is limb-major [L][N]; out is [L'][N].
+//
+// Accumulation is lazy: each output coefficient gathers its L products
+// in a 128-bit (hi, lo) pair via bits.Mul64 and reduces ONCE with the
+// Barrett ⌊2^128/p⌋ constant — no per-term correction at all. A
+// near-overflow fold (hi ≥ 2^62, reachable only for >60-bit moduli at
+// large L) keeps the running sum exact.
 func (c *Converter) Step2(out, y [][]uint64) {
 	if len(y) != c.From.L() || len(out) != c.To.L() {
 		panic("rns: Step2 limb count mismatch")
 	}
 	n := len(y[0])
+	var lo, hi [step2Tile]uint64
 	for j, pm := range c.To.Moduli {
 		dst := out[j]
-		for k := 0; k < n; k++ {
-			dst[k] = 0
-		}
 		row := c.table[j]
-		rowShoup := c.tableShoup[j]
-		for i := range y {
-			w, ws := row[i], rowShoup[i]
-			src := y[i]
-			for k := 0; k < n; k++ {
-				s := dst[k] + pm.ShoupMulFull(src[k], w, ws)
-				if s >= pm.Q {
-					s -= pm.Q
+		for k0 := 0; k0 < n; k0 += step2Tile {
+			kn := step2Tile
+			if n-k0 < kn {
+				kn = n - k0
+			}
+			for k := 0; k < kn; k++ {
+				lo[k], hi[k] = 0, 0
+			}
+			for i := range y {
+				w := row[i]
+				src := y[i][k0 : k0+kn]
+				for k := 0; k < len(src); k++ {
+					ph, pl := bits.Mul64(src[k], w)
+					var cr uint64
+					lo[k], cr = bits.Add64(lo[k], pl, 0)
+					hi[k] += ph + cr
+					if hi[k] >= 1<<62 {
+						lo[k] = pm.ReduceWide(hi[k], lo[k])
+						hi[k] = 0
+					}
 				}
-				dst[k] = s
+			}
+			for k := 0; k < kn; k++ {
+				dst[k0+k] = pm.ReduceWide(hi[k], lo[k])
 			}
 		}
 	}
@@ -117,12 +153,20 @@ func (c *Converter) Step2(out, y [][]uint64) {
 // overflow 0 ≤ e < L. in is [L][N] over From; the returned slice is
 // [L'][N] over To.
 func (c *Converter) ConvertApprox(in [][]uint64) [][]uint64 {
-	n := len(in[0])
-	y := allocLimbs(c.From.L(), n)
-	c.Step1(y, in)
-	out := allocLimbs(c.To.L(), n)
-	c.Step2(out, y)
+	out := allocLimbs(c.To.L(), len(in[0]))
+	c.ConvertApproxInto(out, in)
 	return out
+}
+
+// ConvertApproxInto is ConvertApprox with a caller-provided [L'][N]
+// destination; the step-1 intermediate comes from the converter's pool,
+// so the steady state allocates nothing.
+func (c *Converter) ConvertApproxInto(out, in [][]uint64) {
+	n := len(in[0])
+	ys := c.getY(c.From.L(), n)
+	c.Step1(ys.rows, in)
+	c.Step2(out, ys.rows)
+	c.yPool.Put(ys)
 }
 
 // ConvertExact performs basis conversion with the HPS floating-point
@@ -134,10 +178,12 @@ func (c *Converter) ConvertApprox(in [][]uint64) [][]uint64 {
 // sets of Tab. IV on random inputs, and checked by tests.
 func (c *Converter) ConvertExact(in [][]uint64) [][]uint64 {
 	n := len(in[0])
-	y := allocLimbs(c.From.L(), n)
+	ys := c.getY(c.From.L(), n)
+	y := ys.rows
 	c.Step1(y, in)
 	out := allocLimbs(c.To.L(), n)
 	c.Step2(out, y)
+	defer c.yPool.Put(ys)
 
 	// Overflow estimate and correction.
 	for k := 0; k < n; k++ {
