@@ -34,6 +34,11 @@
 //     HostBenchDiff gates wall time against a generous threshold and
 //     allocations strictly at zero drift (crossbench -hostbench,
 //     BENCH_host.json).
+//   - Serving layer: Serve runs the discrete-event serving simulator —
+//     an open-loop arrival process over a workload mix, dynamic
+//     batching, and fleet dispatch across M pods — and returns one
+//     deterministic record of offered load, achieved throughput, pod
+//     utilization, queue depth, and tail latency (crossbench -serve).
 //
 // See DESIGN.md (§ "Schedule IR & Targets") for the system inventory
 // and EXPERIMENTS.md for the reproduction results.
@@ -50,6 +55,7 @@ import (
 	"cross/internal/mat"
 	"cross/internal/modarith"
 	"cross/internal/ring"
+	"cross/internal/serve"
 	"cross/internal/sweep"
 	"cross/internal/tpusim"
 	"cross/internal/workload"
@@ -427,6 +433,38 @@ func HostBench() ([]HostBenchRecord, error) { return hostbench.Run() }
 func HostBenchDiff(old, new []HostBenchRecord, threshold float64) HostBenchDiffResult {
 	return hostbench.Diff(old, new, threshold)
 }
+
+// ---- Serving-simulator layer ----
+
+// ServeConfig selects one serving scenario: TPU generation, parameter
+// set, fleet size, dispatch policy, offered rate, batching limits, and
+// workload mix. The zero value resolves to a 4-pod TPUv6e fleet under
+// Set B at 70% of capacity.
+type ServeConfig = serve.Config
+
+// ServeResult is one serving run's record: the resolved config plus
+// capacity, achieved throughput, pod utilization, queue depths, and
+// p50/p95/p99 latency. Its JSON encoding is the stable schema of
+// DESIGN.md §12, bit-identical across runs for a fixed seed.
+type ServeResult = serve.Result
+
+// ServeMixEntry is one workload class and its share of the arrival
+// stream.
+type ServeMixEntry = serve.MixEntry
+
+// Dispatch policies for ServeConfig.Policy.
+const (
+	ServeRoundRobin  = serve.PolicyRoundRobin
+	ServeLeastLoaded = serve.PolicyLeastLoaded
+	ServeJSQ         = serve.PolicyJSQ
+)
+
+// Serve executes one serving scenario of the discrete-event simulator
+// to completion: every request offered within the horizon is served,
+// so overload shows up as makespan and tail latency, not loss. The
+// result is a pure function of the config (see internal/serve's
+// determinism contract).
+func Serve(cfg ServeConfig) (*ServeResult, error) { return serve.Run(cfg) }
 
 // EstimateMNIST estimates the §V-D MNIST CNN latency on a compiler.
 func EstimateMNIST(c *Compiler) (total, perImage float64) {

@@ -317,3 +317,23 @@ func TestWorkloadFacade(t *testing.T) {
 		t.Error("HELR estimate degenerate")
 	}
 }
+
+func TestServeFacade(t *testing.T) {
+	r, err := Serve(ServeConfig{
+		Seed: 2, Spec: "TPUv5e", Pods: 2, Policy: ServeLeastLoaded,
+		HorizonS: 0.02, MaxBatch: 4,
+		Mix: []ServeMixEntry{{Workload: "HE-Mult", Weight: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Requests == 0 || r.Completed != r.Requests {
+		t.Fatalf("serve run degenerate: %d/%d", r.Completed, r.Requests)
+	}
+	if r.CapacityRate <= 0 || r.AchievedRate <= 0 || r.Latency.P99S < r.Latency.P50S {
+		t.Errorf("serve record inconsistent: %+v", r)
+	}
+	if _, err := Serve(ServeConfig{Policy: "teleport"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

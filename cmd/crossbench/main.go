@@ -19,6 +19,10 @@
 //	crossbench -hostbench                     # measure host kernels (real ns/op + allocs/op)
 //	crossbench -hostbench -compare BENCH_host.json -threshold 0.25  # wall-clock gate
 //	crossbench -hostbench -compare BENCH_host.json -out hostbench.json
+//	crossbench -serve                         # serving simulator: 4-pod fleet at 70% capacity
+//	crossbench -serve -rate 2000 -pods 8 -policy jsq -json
+//	crossbench -serve -device TPUv4 -set A -batch 8 -delay 0.001 -horizon 0.5
+//	crossbench -serve -mix "HE-Mult=0.6,Rotate=0.3,MNIST=0.1" -seed 42
 //	crossbench -json [...]     # machine-readable output (any mode)
 //
 // With -json the tool emits JSON instead of the formatted tables:
@@ -36,6 +40,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"cross"
 	"cross/internal/harness"
@@ -49,22 +55,6 @@ func emitJSON(v any) {
 		fmt.Fprintln(os.Stderr, "crossbench:", err)
 		os.Exit(1)
 	}
-}
-
-// writeSweep writes records to path with the exact encoding of
-// -sweep -json on stdout, so the file is committable as a baseline.
-func writeSweep(path string, recs []cross.SweepRecord) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(recs); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 // readBaseline loads a committed sweep (BENCH_baseline.json).
@@ -81,22 +71,6 @@ func readBaseline(path string) ([]cross.SweepRecord, error) {
 		return nil, fmt.Errorf("%s holds no sweep records", path)
 	}
 	return recs, nil
-}
-
-// writeHostBench writes host benchmark records with the exact encoding
-// of -hostbench -json, so the file is committable as BENCH_host.json.
-func writeHostBench(path string, recs []cross.HostBenchRecord) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(recs); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 // readHostBaseline loads a committed host benchmark (BENCH_host.json).
@@ -125,7 +99,7 @@ func runHostBench(compare string, threshold float64, out string, asJSON bool) {
 		os.Exit(1)
 	}
 	if out != "" {
-		if err := writeHostBench(out, recs); err != nil {
+		if err := writeJSON(out, recs); err != nil {
 			fmt.Fprintln(os.Stderr, "crossbench:", err)
 			os.Exit(1)
 		}
@@ -156,6 +130,60 @@ func runHostBench(compare string, threshold float64, out string, asJSON bool) {
 	}
 }
 
+// parseMix parses "-mix HE-Mult=0.6,Rotate=0.3,MNIST=0.1" into the
+// serve mix schema.
+func parseMix(s string) ([]cross.ServeMixEntry, error) {
+	var mix []cross.ServeMixEntry
+	for _, part := range strings.Split(s, ",") {
+		wl, weight, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q is not workload=weight", part)
+		}
+		w, err := strconv.ParseFloat(weight, 64)
+		if err != nil {
+			return nil, fmt.Errorf("mix entry %q: %w", part, err)
+		}
+		mix = append(mix, cross.ServeMixEntry{Workload: wl, Weight: w})
+	}
+	return mix, nil
+}
+
+// writeJSON writes any record to path with the stdout JSON encoding.
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runServe handles -serve: execute one serving scenario and emit its
+// record.
+func runServe(cfg cross.ServeConfig, out string, asJSON bool) {
+	r, err := cross.Serve(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crossbench:", err)
+		os.Exit(1)
+	}
+	if out != "" {
+		if err := writeJSON(out, r); err != nil {
+			fmt.Fprintln(os.Stderr, "crossbench:", err)
+			os.Exit(1)
+		}
+	}
+	if asJSON {
+		emitJSON(r)
+		return
+	}
+	fmt.Print(r.Summary())
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
 	experiment := flag.String("experiment", "", "run a single experiment by identifier")
@@ -163,6 +191,17 @@ func main() {
 	device := flag.String("device", "TPUv6e", "TPU generation for -scaling (TPUv4, TPUv5e, TPUv5p, TPUv6e)")
 	sweepMode := flag.Bool("sweep", false, "run the full cross-product perf sweep")
 	hostbenchMode := flag.Bool("hostbench", false, "measure host kernels (real ns/op + allocs/op); with -compare, diff against a BENCH_host.json baseline")
+	serveMode := flag.Bool("serve", false, "run the discrete-event serving simulator")
+	rate := flag.Float64("rate", 0, "serve: offered load in requests/s (0 = 70% of fleet capacity)")
+	pods := flag.Int("pods", 0, "serve: fleet size in pods (default 4)")
+	podCores := flag.Int("cores", 0, "serve: cores per pod (default 1)")
+	policy := flag.String("policy", "", "serve: dispatch policy (round-robin, least-loaded, jsq)")
+	seed := flag.Int64("seed", 0, "serve: arrival PRNG seed (default 1)")
+	horizon := flag.Float64("horizon", 0, "serve: arrival window in simulated seconds (default 0.25)")
+	batch := flag.Int("batch", 0, "serve: max batch size per launch (default 8; 1 disables batching)")
+	delay := flag.Float64("delay", 0, "serve: max queue delay in seconds an idle pod holds a non-full batch (default 0)")
+	mix := flag.String("mix", "", `serve: workload mix as "HE-Mult=0.6,Rotate=0.3,MNIST=0.1" (default mixed operator+MNIST traffic)`)
+	set := flag.String("set", "", `serve: parameter-set letter A-D (default "B")`)
 	compare := flag.String("compare", "", "run a fresh sweep (or host benchmark with -hostbench) and diff it against a baseline JSON file; exit 1 on regression")
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = NumCPU); output is identical at every value")
 	threshold := flag.Float64("threshold", 0.005, "fractional regression threshold for -compare (0.005 = 0.5%; -hostbench defaults to 0.25)")
@@ -171,6 +210,7 @@ func main() {
 	flag.Parse()
 
 	deviceSet, thresholdSet, parallelSet, outSet := false, false, false, false
+	serveFlagSet := ""
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "device":
@@ -181,35 +221,62 @@ func main() {
 			parallelSet = true
 		case "out":
 			outSet = true
+		case "rate", "pods", "cores", "policy", "seed", "horizon", "batch", "delay", "mix", "set":
+			serveFlagSet = f.Name
 		}
 	})
 	// -hostbench pairs with -compare (the wall-clock gate); every other
 	// top-level mode is mutually exclusive.
 	exclusive := 0
-	for _, on := range []bool{*scaling, *sweepMode, *hostbenchMode, *compare != "" && !*hostbenchMode, *list, *experiment != ""} {
+	for _, on := range []bool{*scaling, *sweepMode, *hostbenchMode, *serveMode, *compare != "" && !*hostbenchMode, *list, *experiment != ""} {
 		if on {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		fmt.Fprintln(os.Stderr, "crossbench: -scaling, -sweep, -hostbench, -compare, -list and -experiment are mutually exclusive (except -hostbench -compare)")
+		fmt.Fprintln(os.Stderr, "crossbench: -scaling, -sweep, -hostbench, -serve, -compare, -list and -experiment are mutually exclusive (except -hostbench -compare)")
 		os.Exit(1)
 	}
-	if deviceSet && !*scaling {
-		fmt.Fprintln(os.Stderr, "crossbench: -device only applies to -scaling")
+	if deviceSet && !*scaling && !*serveMode {
+		fmt.Fprintln(os.Stderr, "crossbench: -device only applies to -scaling and -serve")
 		os.Exit(1)
 	}
 	if thresholdSet && *compare == "" {
 		fmt.Fprintln(os.Stderr, "crossbench: -threshold only applies to -compare")
 		os.Exit(1)
 	}
-	if parallelSet && (*hostbenchMode || (!*sweepMode && *compare == "")) {
-		fmt.Fprintln(os.Stderr, "crossbench: -parallel only applies to -sweep and sweep -compare")
+	if parallelSet && (*hostbenchMode || (!*sweepMode && !*serveMode && *compare == "")) {
+		fmt.Fprintln(os.Stderr, "crossbench: -parallel only applies to -sweep, -serve and sweep -compare")
 		os.Exit(1)
 	}
-	if outSet && !*sweepMode && !*hostbenchMode && *compare == "" {
-		fmt.Fprintln(os.Stderr, "crossbench: -out only applies to -sweep, -hostbench and -compare")
+	if outSet && !*sweepMode && !*hostbenchMode && !*serveMode && *compare == "" {
+		fmt.Fprintln(os.Stderr, "crossbench: -out only applies to -sweep, -hostbench, -serve and -compare")
 		os.Exit(1)
+	}
+	if serveFlagSet != "" && !*serveMode {
+		fmt.Fprintf(os.Stderr, "crossbench: -%s only applies to -serve\n", serveFlagSet)
+		os.Exit(1)
+	}
+
+	if *serveMode {
+		cfg := cross.ServeConfig{
+			Seed: *seed, Set: *set, Pods: *pods, CoresPerPod: *podCores,
+			Policy: *policy, Rate: *rate, HorizonS: *horizon,
+			MaxBatch: *batch, MaxDelayS: *delay, Parallel: *parallel,
+		}
+		if deviceSet {
+			cfg.Spec = *device
+		}
+		if *mix != "" {
+			m, err := parseMix(*mix)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "crossbench:", err)
+				os.Exit(1)
+			}
+			cfg.Mix = m
+		}
+		runServe(cfg, *out, *asJSON)
+		return
 	}
 
 	if *hostbenchMode {
@@ -228,7 +295,7 @@ func main() {
 			os.Exit(1)
 		}
 		if *out != "" {
-			if err := writeSweep(*out, recs); err != nil {
+			if err := writeJSON(*out, recs); err != nil {
 				fmt.Fprintln(os.Stderr, "crossbench:", err)
 				os.Exit(1)
 			}
@@ -256,7 +323,7 @@ func main() {
 			os.Exit(1)
 		}
 		if *out != "" {
-			if err := writeSweep(*out, recs); err != nil {
+			if err := writeJSON(*out, recs); err != nil {
 				fmt.Fprintln(os.Stderr, "crossbench:", err)
 				os.Exit(1)
 			}

@@ -154,18 +154,14 @@ func (c *Compiler) LowerOp(op string, f func() float64) *Schedule {
 	savedCompute := c.Dev.Trace
 	c.Dev.Trace = tpusim.NewTrace()
 	savedCollective := c.T.CollectiveTrace()
-	if savedCollective != nil {
-		c.T.SetCollectiveTrace(tpusim.NewTrace())
-	}
+	c.T.SetCollectiveTrace(tpusim.NewTrace())
 	savedTally := c.tally
 	c.tally = KernelCounts{}
 	// Restore under defer so a panicking closure cannot leave the
 	// compiler charging the throwaway traces.
 	defer func() {
 		c.Dev.Trace = savedCompute
-		if savedCollective != nil {
-			c.T.SetCollectiveTrace(savedCollective)
-		}
+		c.T.SetCollectiveTrace(savedCollective)
 		c.tally = savedTally
 	}()
 
@@ -180,11 +176,9 @@ func (c *Compiler) LowerOp(op string, f func() float64) *Schedule {
 		Trace:   c.Dev.Trace,
 		Kernels: c.tally,
 	}
-	if ct := c.T.CollectiveTrace(); savedCollective != nil && ct != nil {
-		s.Collective = ct.Total()
-		if s.Collective > 0 {
-			s.Trace.Add(tpusim.CatICI, s.Collective)
-		}
+	s.Collective = c.T.CollectiveTrace().Total()
+	if s.Collective > 0 {
+		s.Trace.Add(tpusim.CatICI, s.Collective)
 	}
 
 	if math.IsNaN(total) || total < 0 {

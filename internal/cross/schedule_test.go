@@ -95,6 +95,56 @@ func TestGoldenDevicePodScheduleIdentity(t *testing.T) {
 	}
 }
 
+func TestDeviceCollectiveTraceOwned(t *testing.T) {
+	// Regression test for the Target asymmetry: Device.CollectiveTrace
+	// used to return nil, forcing nil-guards into every consumer. Both
+	// target kinds now own a real (empty, for a bare core) collective
+	// trace and take the identical costing code path.
+	dev := tpusim.NewDevice(tpusim.TPUv6e())
+	pod := tpusim.MustPod(tpusim.TPUv6e(), 1)
+	for _, tgt := range []Target{dev, pod} {
+		ct := tgt.CollectiveTrace()
+		if ct == nil {
+			t.Fatalf("%s: CollectiveTrace is nil", tgt.Name())
+		}
+		// The swap hook must be honoured, not a no-op.
+		fresh := tpusim.NewTrace()
+		tgt.SetCollectiveTrace(fresh)
+		if tgt.CollectiveTrace() != fresh {
+			t.Errorf("%s: SetCollectiveTrace did not swap", tgt.Name())
+		}
+		tgt.SetCollectiveTrace(ct)
+	}
+
+	// Guard-free consumers work on both targets and agree bit-for-bit.
+	p := SetC()
+	cd, err := Compile(dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Compile(pod, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, sp := cd.LowerHEMult(), cp.LowerHEMult()
+	if sd.Total != sp.Total || sd.Collective != 0 || sp.Collective != 0 {
+		t.Errorf("device/1-core-pod schedules diverge: %g/%g collective %g/%g",
+			sd.Total, sp.Total, sd.Collective, sp.Collective)
+	}
+	if cd.CollectiveSeconds() != 0 || cp.CollectiveSeconds() != 0 {
+		t.Error("CollectiveSeconds non-zero on collective-free targets")
+	}
+	// Lowering restores the live collective trace on both targets.
+	if dev.CollectiveTrace() == nil || pod.CollectiveTrace() == nil {
+		t.Error("live collective trace lost after lowering")
+	}
+	// Reset clears the device's collective trace without nilling it.
+	dev.Reset()
+	if dev.CollectiveTrace() == nil || dev.CollectiveTrace().Total() != 0 {
+		t.Error("Reset broke the device collective trace")
+	}
+}
+
 func TestCompileRejectsBadTargets(t *testing.T) {
 	if _, err := Compile(nil, SetA()); err == nil {
 		t.Error("expected error for nil target")

@@ -63,9 +63,8 @@ func (s *ShardedCompiler) CostVecModAddLocal(n int) float64 {
 
 // CollectiveSeconds reports the ICI time accumulated in the target's
 // collective trace. (Defined on Compiler so both faces share it.)
+// Every Target owns a collective trace — a bare device's just stays
+// empty — so no nil-guard is needed.
 func (c *Compiler) CollectiveSeconds() float64 {
-	if ct := c.T.CollectiveTrace(); ct != nil {
-		return ct.Seconds(tpusim.CatICI)
-	}
-	return 0
+	return c.T.CollectiveTrace().Seconds(tpusim.CatICI)
 }

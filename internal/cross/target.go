@@ -33,12 +33,13 @@ type Target interface {
 	// (binomial tree).
 	Broadcast(bytes int64) float64
 
-	// CollectiveTrace exposes the interconnect trace, or nil when the
-	// target has no interconnect (a bare device).
+	// CollectiveTrace exposes the interconnect trace. Never nil: a
+	// target without an interconnect (a bare device) owns an empty
+	// trace, so devices and pods take the identical costing code path.
 	CollectiveTrace() *tpusim.Trace
 
-	// SetCollectiveTrace swaps the interconnect trace (no-op when
-	// CollectiveTrace is nil) — the hook trace-isolated costing uses.
+	// SetCollectiveTrace swaps the interconnect trace — the hook
+	// trace-isolated costing uses.
 	SetCollectiveTrace(*tpusim.Trace)
 }
 

@@ -27,6 +27,7 @@ import (
 	"cross/internal/modarith"
 	"cross/internal/ring"
 	"cross/internal/rns"
+	"cross/internal/sweep"
 )
 
 // Record is one kernel's measurement at its fixed benchmark size.
@@ -259,18 +260,16 @@ func Diff(old, new []Record, threshold float64) DiffResult {
 			ID: r.ID, OldNs: o.NsPerOp, NewNs: r.NsPerOp,
 			OldAllocs: o.AllocsPerOp, NewAllocs: r.AllocsPerOp,
 		}
-		if o.NsPerOp > 0 {
-			delta.RelNs = r.NsPerOp/o.NsPerOp - 1
-		}
-		switch {
-		case r.AllocsPerOp > o.AllocsPerOp:
+		// Wall time classifies through the same semantics as the sweep
+		// gate — in particular a non-positive baseline ns/op with any
+		// different new latency is a regression, never unchanged (a
+		// hollowed-out BENCH_host.json must not pass silently).
+		relNs, nsClass := sweep.Classify(o.NsPerOp, r.NsPerOp, threshold)
+		delta.RelNs = relNs
+		if r.AllocsPerOp > o.AllocsPerOp {
 			delta.Class = ClassRegression
-		case delta.RelNs > threshold:
-			delta.Class = ClassRegression
-		case delta.RelNs < -threshold:
-			delta.Class = ClassImprovement
-		default:
-			delta.Class = ClassUnchanged
+		} else {
+			delta.Class = nsClass
 		}
 		switch delta.Class {
 		case ClassRegression:

@@ -54,6 +54,28 @@ func TestDiffAllocsStrictAtZeroThreshold(t *testing.T) {
 	}
 }
 
+func TestDiffZeroBaselineGates(t *testing.T) {
+	// Regression test for the gate hole: a baseline record with
+	// NsPerOp <= 0 used to leave RelNs at 0, so ANY new latency
+	// classified as unchanged and the gate passed silently. Aligned
+	// with sweep.Classify: a latency appearing from a non-positive
+	// baseline is a regression.
+	for _, oldNs := range []float64{0, -1} {
+		d := Diff([]Record{rec("k", oldNs, 0)}, []Record{rec("k", 5000, 0)}, 0.25)
+		if !d.HasRegressions() {
+			t.Errorf("baseline %g ns → 5000 ns not flagged as regression", oldNs)
+		}
+		if len(d.Regressions) == 1 && d.Regressions[0].RelNs != 1 {
+			t.Errorf("baseline %g ns: RelNs = %g, want sentinel 1", oldNs, d.Regressions[0].RelNs)
+		}
+	}
+	// 0 → 0 stays unchanged (matching sweep semantics).
+	d := Diff([]Record{rec("k", 0, 0)}, []Record{rec("k", 0, 0)}, 0.25)
+	if d.HasRegressions() || d.Unchanged != 1 {
+		t.Errorf("0 → 0 must be unchanged: %+v", d)
+	}
+}
+
 func TestDiffIdenticalRunsClean(t *testing.T) {
 	rs := []Record{rec("x", 123, 0), rec("y", 456, 3)}
 	d := Diff(rs, rs, 0.25)

@@ -1,0 +1,422 @@
+// Package serve is the discrete-event serving simulator: the layer
+// that turns the per-operator Schedule IR into an end-to-end system
+// study of "heavy traffic from millions of users" (the ROADMAP's north
+// star). An open-loop arrival process offers a configurable workload
+// mix {HE-Mult, Rotate, Bootstrap, MNIST, HELR} at a fixed rate to a
+// fleet of M identical pods; a dynamic batching policy (max batch size
+// + max queue delay) groups queued requests of one class into batched
+// program launches priced via Program.Batch through the shared
+// cross.ScheduleCache; and a dispatch policy (round-robin,
+// least-loaded, join-shortest-queue) spreads requests across the
+// fleet. The output is one stable JSON record: offered load, achieved
+// throughput, pod utilization, queue depth, and p50/p95/p99 latency.
+//
+// Determinism contract (DESIGN.md §12): a Result is a pure function of
+// its Config. Arrivals come from an owned splitmix64 PRNG (no
+// dependency on math/rand's stream), the event loop is sequential with
+// total event ordering (time, then insertion sequence), and the only
+// concurrency — pre-pricing the batch-size × workload service table —
+// computes pure Schedules whose values are independent of worker
+// count. The JSON encoding of a Result is therefore bit-identical
+// across runs and across Parallel values for a fixed seed (tested).
+//
+// Batching model: a batch of b same-class requests is priced as the
+// b-replicated program (Program.Batch semantics: operator work scales
+// linearly) minus the amortised kernel-launch overhead — stacking b
+// operands into each kernel keeps the launch count constant, so b−1 of
+// the b per-request dispatch shares are saved (the Fig. 11b batching
+// effect). Service time is strictly increasing in b while per-request
+// time strictly decreases, which is what makes batching win at high
+// load.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cross/internal/cross"
+	"cross/internal/sweep"
+	"cross/internal/tpusim"
+)
+
+// Dispatch policies.
+const (
+	PolicyRoundRobin  = "round-robin"
+	PolicyLeastLoaded = "least-loaded"
+	PolicyJSQ         = "jsq" // join the shortest queue
+)
+
+// Policies lists every dispatch policy.
+var Policies = []string{PolicyRoundRobin, PolicyLeastLoaded, PolicyJSQ}
+
+// MixEntry is one workload class and its share of the arrival stream.
+// Weights are relative (normalised internally); order is significant
+// only for deterministic tie-breaks and the JSON echo.
+type MixEntry struct {
+	Workload string  `json:"workload"`
+	Weight   float64 `json:"weight"`
+}
+
+// DefaultMix is the standard serving mix: operator traffic dominated
+// by cheap ops with a tail of full MNIST inferences.
+func DefaultMix() []MixEntry {
+	return []MixEntry{
+		{Workload: sweep.WorkloadHEMult, Weight: 0.5},
+		{Workload: sweep.WorkloadRotate, Weight: 0.3},
+		{Workload: sweep.WorkloadMNIST, Weight: 0.2},
+	}
+}
+
+// Config selects one serving scenario. The zero value resolves to a
+// 4-pod TPUv6e fleet under Set B serving DefaultMix at 70% of fleet
+// capacity with batching up to 8. The resolved Config is echoed in
+// the Result, so a record is self-describing and reproducible.
+type Config struct {
+	Seed int64 `json:"seed"` // arrival PRNG seed (0 → 1)
+
+	Spec        string `json:"spec"`          // TPU generation (default TPUv6e)
+	Set         string `json:"set"`           // parameter-set letter (default "B")
+	Pods        int    `json:"pods"`          // fleet size M (default 4)
+	CoresPerPod int    `json:"cores_per_pod"` // cores per pod (default 1)
+
+	Policy string `json:"policy"` // dispatch policy (default round-robin)
+
+	// Rate is the offered load in requests/s; ≤ 0 resolves to 70% of
+	// the fleet's max-batch capacity (the echoed Config carries the
+	// resolved value).
+	Rate float64 `json:"rate"`
+
+	// HorizonS is the arrival window in simulated seconds; requests
+	// arriving within it are all served to completion (the simulation
+	// drains), so overload shows up as makespan ≫ horizon.
+	HorizonS float64 `json:"horizon_s"`
+
+	// MaxBatch caps the per-launch batch size (default 8; 1 disables
+	// batching). MaxDelayS caps how long an idle pod holds a non-full
+	// batch open waiting for more same-class arrivals (0 = launch as
+	// soon as the pod is free; batches then form only from backlog).
+	MaxBatch  int     `json:"max_batch"`
+	MaxDelayS float64 `json:"max_delay_s"`
+
+	Mix []MixEntry `json:"mix"` // workload mix (default DefaultMix)
+
+	// Parallel is the worker count for pre-pricing the service-time
+	// table; ≤ 0 means NumCPU. Results are bit-identical at every
+	// value, so it is excluded from the record schema.
+	Parallel int `json:"-"`
+}
+
+// withDefaults resolves zero-value fields (Rate is resolved later,
+// after pricing, because auto-rate needs the capacity).
+func (cfg Config) withDefaults() Config {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Spec == "" {
+		cfg.Spec = "TPUv6e"
+	}
+	if cfg.Set == "" {
+		cfg.Set = "B"
+	}
+	if cfg.Pods == 0 {
+		cfg.Pods = 4
+	}
+	if cfg.CoresPerPod == 0 {
+		cfg.CoresPerPod = 1
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyRoundRobin
+	}
+	if cfg.HorizonS == 0 {
+		cfg.HorizonS = 0.25
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 8
+	}
+	if len(cfg.Mix) == 0 {
+		cfg.Mix = DefaultMix()
+	}
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = runtime.NumCPU()
+	}
+	return cfg
+}
+
+// validate rejects configurations the simulator cannot price.
+func (cfg Config) validate() error {
+	if _, ok := tpusim.SpecByName(cfg.Spec); !ok {
+		return fmt.Errorf("serve: unknown TPU spec %q", cfg.Spec)
+	}
+	if _, err := cross.NamedSet(cfg.Set); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if cfg.Pods < 1 {
+		return fmt.Errorf("serve: fleet needs at least one pod, got %d", cfg.Pods)
+	}
+	if cfg.CoresPerPod < 1 {
+		return fmt.Errorf("serve: pods need at least one core, got %d", cfg.CoresPerPod)
+	}
+	valid := false
+	for _, p := range Policies {
+		if cfg.Policy == p {
+			valid = true
+		}
+	}
+	if !valid {
+		return fmt.Errorf("serve: unknown policy %q (have %v)", cfg.Policy, Policies)
+	}
+	if cfg.HorizonS <= 0 {
+		return fmt.Errorf("serve: horizon must be positive, got %g", cfg.HorizonS)
+	}
+	if cfg.MaxBatch < 1 {
+		return fmt.Errorf("serve: max batch must be ≥ 1, got %d", cfg.MaxBatch)
+	}
+	if cfg.MaxDelayS < 0 {
+		return fmt.Errorf("serve: max queue delay must be ≥ 0, got %g", cfg.MaxDelayS)
+	}
+	// withDefaults guarantees a non-empty mix, so positive weights are
+	// the only thing left to check.
+	for _, e := range cfg.Mix {
+		if e.Weight <= 0 {
+			return fmt.Errorf("serve: mix weight for %q must be positive, got %g", e.Workload, e.Weight)
+		}
+	}
+	return nil
+}
+
+// LatencyStats summarises a request-latency distribution (seconds).
+// Quantiles are nearest-rank over the completed requests.
+type LatencyStats struct {
+	MeanS float64 `json:"mean_s"`
+	P50S  float64 `json:"p50_s"`
+	P95S  float64 `json:"p95_s"`
+	P99S  float64 `json:"p99_s"`
+	MaxS  float64 `json:"max_s"`
+}
+
+// PodStats is one pod's share of the run.
+type PodStats struct {
+	Pod           int     `json:"pod"`
+	Served        int     `json:"served"`  // requests completed
+	Batches       int     `json:"batches"` // program launches
+	BusyS         float64 `json:"busy_s"`
+	Utilization   float64 `json:"utilization"` // BusyS / makespan
+	MaxQueueDepth int     `json:"max_queue_depth"`
+}
+
+// WorkloadStats is one request class's share of the run.
+type WorkloadStats struct {
+	Workload string       `json:"workload"`
+	Requests int          `json:"requests"`
+	Latency  LatencyStats `json:"latency"`
+}
+
+// Result is one serving run: the resolved Config plus the measured
+// system behaviour. Field names are the stable JSON record schema
+// (DESIGN.md §12); the encoding is bit-identical across runs and
+// Parallel values for a fixed Config.
+type Result struct {
+	Config Config `json:"config"`
+
+	// CapacityRate is the fleet's sustainable throughput ceiling
+	// (requests/s) at full batches under the configured mix — the
+	// saturation asymptote AchievedRate approaches under overload.
+	CapacityRate float64 `json:"capacity_rate"`
+
+	OfferedRate  float64 `json:"offered_rate"`  // resolved arrival rate
+	Requests     int     `json:"requests"`      // arrivals in the horizon
+	Completed    int     `json:"completed"`     // always == Requests (the run drains)
+	MakespanS    float64 `json:"makespan_s"`    // last completion time
+	AchievedRate float64 `json:"achieved_rate"` // Completed / MakespanS
+
+	MeanBatch     float64 `json:"mean_batch"`      // requests per launch
+	MaxQueueDepth int     `json:"max_queue_depth"` // fleet-wide peak
+
+	Latency   LatencyStats    `json:"latency"`
+	Pods      []PodStats      `json:"pods"`
+	Workloads []WorkloadStats `json:"workloads"`
+}
+
+// priceTable is the pre-priced service-time model: for every mix class
+// w, the base single-request latency and the batched service time for
+// every batch size 1..MaxBatch.
+type priceTable struct {
+	base []float64   // [class] single-request schedule total
+	svc  [][]float64 // [class][b-1] batched service time, dispatch-amortised
+}
+
+// price lowers every (class, batch) service time concurrently through
+// one shared ScheduleCache. Schedules are pure functions of (target,
+// params, operator), so the resulting table is independent of the
+// worker count.
+func price(cfg Config) (*priceTable, error) {
+	spec, _ := tpusim.SpecByName(cfg.Spec)
+	params, err := cross.NamedSet(cfg.Set)
+	if err != nil {
+		return nil, err
+	}
+
+	type task struct{ class, batch int }
+	tasks := make([]task, 0, len(cfg.Mix)*cfg.MaxBatch)
+	for w := range cfg.Mix {
+		for b := 1; b <= cfg.MaxBatch; b++ {
+			tasks = append(tasks, task{class: w, batch: b})
+		}
+	}
+
+	raw := make([][]float64, len(cfg.Mix))
+	launches := make([]int, len(cfg.Mix))
+	for w := range raw {
+		raw[w] = make([]float64, cfg.MaxBatch)
+	}
+
+	cache := cross.NewScheduleCache()
+	errs := make([]error, len(tasks))
+	idx := make(chan int, len(tasks))
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+
+	workers := cfg.Parallel
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				t := tasks[i]
+				// Targets are stateful trace accumulators, so every task
+				// builds its own; only the schedule cache is shared.
+				pod, err := tpusim.NewPod(spec, cfg.CoresPerPod)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				comp, err := cross.Compile(pod, params)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				prog, err := sweep.BuildProgram(comp, cfg.Mix[t.class].Workload)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				s := prog.WithCache(cache).Batch(t.batch).Lower()
+				raw[t.class][t.batch-1] = s.Total
+				if t.batch == 1 {
+					// Kernel launches per request (collectives are not XLA
+					// launches and are not amortised by operand stacking).
+					launches[t.class] = s.Kernels.Total() - s.Kernels.Collectives
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("serve: pricing %s×%d: %w", cfg.Mix[tasks[i].class].Workload, tasks[i].batch, err)
+		}
+	}
+
+	// Amortise dispatch: stacking b requests into each kernel keeps the
+	// launch count constant, so a b-batch saves (b−1) of the per-request
+	// dispatch shares (Fig. 11b). Guarded: the saving can never exceed
+	// the request itself.
+	pt := &priceTable{base: make([]float64, len(cfg.Mix)), svc: raw}
+	for w := range cfg.Mix {
+		pt.base[w] = raw[w][0]
+		disp := float64(launches[w]) * spec.DispatchOverhead
+		if disp >= pt.base[w] {
+			disp = 0
+		}
+		for b := 2; b <= cfg.MaxBatch; b++ {
+			raw[w][b-1] -= float64(b-1) * disp
+		}
+	}
+	return pt, nil
+}
+
+// capacity returns the fleet's sustainable request rate at full
+// batches: Pods / (mix-weighted per-request service time at MaxBatch).
+func (pt *priceTable) capacity(cfg Config) float64 {
+	var sumW, mean float64
+	for _, e := range cfg.Mix {
+		sumW += e.Weight
+	}
+	for w, e := range cfg.Mix {
+		perReq := pt.svc[w][cfg.MaxBatch-1] / float64(cfg.MaxBatch)
+		mean += (e.Weight / sumW) * perReq
+	}
+	if mean <= 0 {
+		return 0
+	}
+	return float64(cfg.Pods) / mean
+}
+
+// autoRateFraction is the load factor auto-rate resolves to: busy
+// enough to exercise queueing, below the saturation knee.
+const autoRateFraction = 0.7
+
+// maxRequests bounds the arrival count so an absurd rate × horizon
+// cannot exhaust memory.
+const maxRequests = 2_000_000
+
+// Run executes one serving scenario to completion and returns its
+// record. See the package comment for the determinism contract.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	pt, err := price(cfg)
+	if err != nil {
+		return nil, err
+	}
+	capRate := pt.capacity(cfg)
+	if cfg.Rate <= 0 {
+		cfg.Rate = autoRateFraction * capRate
+	}
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("serve: resolved arrival rate is zero (capacity %g)", capRate)
+	}
+	if cfg.Rate*cfg.HorizonS > maxRequests {
+		return nil, fmt.Errorf("serve: rate %g × horizon %g s exceeds the %d-request cap",
+			cfg.Rate, cfg.HorizonS, maxRequests)
+	}
+
+	s := newSim(cfg, pt)
+	s.run()
+	return s.result(capRate), nil
+}
+
+// Summary renders the human-readable face of the record.
+func (r *Result) Summary() string {
+	load := 0.0
+	if r.CapacityRate > 0 {
+		load = r.OfferedRate / r.CapacityRate
+	}
+	out := fmt.Sprintf(
+		"serve %s ×%d pods (%d core(s) each), Set%s, policy %s, batch ≤ %d\n"+
+			"offered %.1f req/s (%.0f%% of capacity %.1f), achieved %.1f req/s over %.4f s\n"+
+			"latency p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  (mean %.3f, max %.3f)\n"+
+			"batches %.2f requests/launch, peak queue depth %d\n",
+		r.Config.Spec, r.Config.Pods, r.Config.CoresPerPod, r.Config.Set, r.Config.Policy, r.Config.MaxBatch,
+		r.OfferedRate, 100*load, r.CapacityRate, r.AchievedRate, r.MakespanS,
+		r.Latency.P50S*1e3, r.Latency.P95S*1e3, r.Latency.P99S*1e3, r.Latency.MeanS*1e3, r.Latency.MaxS*1e3,
+		r.MeanBatch, r.MaxQueueDepth)
+	for _, p := range r.Pods {
+		out += fmt.Sprintf("  pod %d: served %5d in %4d launches, %5.1f%% busy, peak depth %d\n",
+			p.Pod, p.Served, p.Batches, 100*p.Utilization, p.MaxQueueDepth)
+	}
+	for _, w := range r.Workloads {
+		out += fmt.Sprintf("  %-10s %6d requests, p50 %.3f ms, p99 %.3f ms\n",
+			w.Workload, w.Requests, w.Latency.P50S*1e3, w.Latency.P99S*1e3)
+	}
+	return out
+}

@@ -1,0 +1,357 @@
+package serve
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// rng is a splitmix64 PRNG. The simulator owns its generator rather
+// than using math/rand so the determinism contract depends on nothing
+// but this file: the stream for a given seed can never drift with a
+// toolchain upgrade.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// exp returns an exponential draw with the given rate (mean 1/rate) —
+// the open-loop Poisson inter-arrival time.
+func (r *rng) exp(rate float64) float64 {
+	// 1−u ∈ (0, 1], so the log argument is never zero.
+	return -math.Log(1-r.float64()) / rate
+}
+
+// Event kinds, in deterministic tie-break vocabulary: events at the
+// same instant fire in insertion order (seq), which the single
+// sequential loop makes total.
+const (
+	evArrival = iota
+	evDeadline
+	evDone
+)
+
+type event struct {
+	at   float64
+	seq  int64
+	kind int
+	pod  int
+	req  int // arrival: request index
+}
+
+// eventHeap is a min-heap on (time, insertion sequence).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// request is one offered unit of work.
+type request struct {
+	class   int // mix index
+	arrival float64
+	finish  float64
+}
+
+// podState is one pod's runtime state: per-class FIFO queues, the
+// running batch, and its share of the run's statistics.
+type podState struct {
+	queues    [][]int // per-class FIFOs of request indices
+	queued    int
+	backlogS  float64 // estimated queued base work (least-loaded policy)
+	inFlight  []int
+	busy      bool
+	busyUntil float64
+	deadline  float64 // earliest armed batching deadline (+Inf when none)
+
+	served, batches, maxDepth int
+	busyS                     float64
+}
+
+// sim is one serving run in flight.
+type sim struct {
+	cfg  Config
+	pt   *priceTable
+	reqs []request
+	pods []podState
+	h    eventHeap
+	seq  int64
+	rr   int // round-robin cursor
+}
+
+func newSim(cfg Config, pt *priceTable) *sim {
+	s := &sim{cfg: cfg, pt: pt, pods: make([]podState, cfg.Pods)}
+	for i := range s.pods {
+		s.pods[i].queues = make([][]int, len(cfg.Mix))
+		s.pods[i].deadline = math.Inf(1)
+	}
+
+	// Open-loop arrivals: exponential inter-arrival times at the offered
+	// rate, workload class drawn from the mix — all from the seeded
+	// generator, so the offered trace is a pure function of the Config.
+	gen := rng{state: uint64(cfg.Seed)}
+	var sumW float64
+	for _, e := range cfg.Mix {
+		sumW += e.Weight
+	}
+	t := 0.0
+	for {
+		t += gen.exp(cfg.Rate)
+		if t > cfg.HorizonS {
+			break
+		}
+		u := gen.float64() * sumW
+		class := len(cfg.Mix) - 1
+		for w, e := range cfg.Mix {
+			if u < e.Weight {
+				class = w
+				break
+			}
+			u -= e.Weight
+		}
+		s.reqs = append(s.reqs, request{class: class, arrival: t})
+	}
+	for i, r := range s.reqs {
+		s.push(event{at: r.arrival, kind: evArrival, req: i})
+	}
+	return s
+}
+
+func (s *sim) push(e event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.h, e)
+}
+
+// dispatch picks the pod a fresh arrival joins.
+func (s *sim) dispatch(req int, now float64) int {
+	switch s.cfg.Policy {
+	case PolicyLeastLoaded:
+		// Least total outstanding work: remaining service of the running
+		// batch plus the estimated queued work. Ties go to the lowest
+		// index, so the choice is deterministic.
+		best, bestLoad := 0, math.Inf(1)
+		for i := range s.pods {
+			p := &s.pods[i]
+			load := p.backlogS
+			if p.busy {
+				load += p.busyUntil - now
+			}
+			if load < bestLoad {
+				best, bestLoad = i, load
+			}
+		}
+		return best
+	case PolicyJSQ:
+		best, bestLen := 0, math.MaxInt
+		for i := range s.pods {
+			if l := s.pods[i].queued + len(s.pods[i].inFlight); l < bestLen {
+				best, bestLen = i, l
+			}
+		}
+		return best
+	default: // round-robin
+		p := s.rr % s.cfg.Pods
+		s.rr++
+		return p
+	}
+}
+
+// maybeLaunch starts the next batch on an idle pod, or arms a batching
+// deadline when holding the batch open is still allowed.
+func (s *sim) maybeLaunch(pi int, now float64) {
+	p := &s.pods[pi]
+	if p.busy || p.queued == 0 {
+		return
+	}
+	// A class is launchable when its batch is full or its head request's
+	// delay budget is spent. Serve the launchable class whose head has
+	// waited longest (FIFO across classes; ties break on the lower class
+	// index) — a full batch in one class must never sit behind another
+	// class's still-unexpired head. The expiry test compares against the
+	// deadline instant itself (not the age): the deadline event fires at
+	// exactly oldest+MaxDelayS, and re-deriving the same float
+	// expression makes the ≥ test exact.
+	class, oldestAll := -1, -1
+	for c := range p.queues {
+		if len(p.queues[c]) == 0 {
+			continue
+		}
+		head := s.reqs[p.queues[c][0]].arrival
+		if oldestAll == -1 || head < s.reqs[p.queues[oldestAll][0]].arrival {
+			oldestAll = c
+		}
+		launchable := len(p.queues[c]) >= s.cfg.MaxBatch ||
+			s.cfg.MaxDelayS <= 0 || now >= head+s.cfg.MaxDelayS
+		if launchable && (class == -1 || head < s.reqs[p.queues[class][0]].arrival) {
+			class = c
+		}
+	}
+	if class == -1 {
+		// Nothing launchable yet: hold for more arrivals, waking at the
+		// earliest delay deadline (the overall-oldest head's).
+		if want := s.reqs[p.queues[oldestAll][0]].arrival + s.cfg.MaxDelayS; want < p.deadline {
+			p.deadline = want
+			s.push(event{at: want, kind: evDeadline, pod: pi})
+		}
+		return
+	}
+	q := p.queues[class]
+
+	b := len(q)
+	if b > s.cfg.MaxBatch {
+		b = s.cfg.MaxBatch
+	}
+	batch := append([]int(nil), q[:b]...)
+	p.queues[class] = q[b:]
+	p.queued -= b
+	for _, id := range batch {
+		p.backlogS -= s.pt.base[s.reqs[id].class]
+	}
+	if p.queued == 0 {
+		p.backlogS = 0 // kill float accumulation drift at the fixpoint
+	}
+	svc := s.pt.svc[class][b-1]
+	p.busy = true
+	p.busyUntil = now + svc
+	p.busyS += svc
+	p.batches++
+	p.inFlight = batch
+	p.deadline = math.Inf(1)
+	s.push(event{at: p.busyUntil, kind: evDone, pod: pi})
+}
+
+// run drains the event heap: every offered request is served to
+// completion, so overload manifests as makespan, not loss.
+func (s *sim) run() {
+	for s.h.Len() > 0 {
+		e := heap.Pop(&s.h).(event)
+		switch e.kind {
+		case evArrival:
+			r := &s.reqs[e.req]
+			pi := s.dispatch(e.req, e.at)
+			p := &s.pods[pi]
+			p.queues[r.class] = append(p.queues[r.class], e.req)
+			p.queued++
+			p.backlogS += s.pt.base[r.class]
+			if p.queued > p.maxDepth {
+				p.maxDepth = p.queued
+			}
+			s.maybeLaunch(pi, e.at)
+		case evDeadline:
+			s.pods[e.pod].deadline = math.Inf(1)
+			s.maybeLaunch(e.pod, e.at)
+		case evDone:
+			p := &s.pods[e.pod]
+			for _, id := range p.inFlight {
+				s.reqs[id].finish = e.at
+			}
+			p.served += len(p.inFlight)
+			p.inFlight = nil
+			p.busy = false
+			s.maybeLaunch(e.pod, e.at)
+		}
+	}
+}
+
+// latencyStats summarises a sorted latency slice with nearest-rank
+// quantiles.
+func latencyStats(sorted []float64) LatencyStats {
+	n := len(sorted)
+	if n == 0 {
+		return LatencyStats{}
+	}
+	q := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(n))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return LatencyStats{
+		MeanS: sum / float64(n),
+		P50S:  q(0.50),
+		P95S:  q(0.95),
+		P99S:  q(0.99),
+		MaxS:  sorted[n-1],
+	}
+}
+
+// result assembles the stable record after the run drains.
+func (s *sim) result(capacityRate float64) *Result {
+	r := &Result{
+		Config:       s.cfg,
+		CapacityRate: capacityRate,
+		OfferedRate:  s.cfg.Rate,
+		Requests:     len(s.reqs),
+		Completed:    len(s.reqs),
+	}
+
+	lats := make([]float64, 0, len(s.reqs))
+	perClass := make([][]float64, len(s.cfg.Mix))
+	for i := range s.reqs {
+		req := &s.reqs[i]
+		if req.finish > r.MakespanS {
+			r.MakespanS = req.finish
+		}
+		l := req.finish - req.arrival
+		lats = append(lats, l)
+		perClass[req.class] = append(perClass[req.class], l)
+	}
+	sort.Float64s(lats)
+	r.Latency = latencyStats(lats)
+	if r.MakespanS > 0 {
+		r.AchievedRate = float64(r.Completed) / r.MakespanS
+	}
+
+	var batches int
+	for i := range s.pods {
+		p := &s.pods[i]
+		util := 0.0
+		if r.MakespanS > 0 {
+			util = p.busyS / r.MakespanS
+		}
+		r.Pods = append(r.Pods, PodStats{
+			Pod: i, Served: p.served, Batches: p.batches,
+			BusyS: p.busyS, Utilization: util, MaxQueueDepth: p.maxDepth,
+		})
+		batches += p.batches
+		if p.maxDepth > r.MaxQueueDepth {
+			r.MaxQueueDepth = p.maxDepth
+		}
+	}
+	if batches > 0 {
+		r.MeanBatch = float64(r.Completed) / float64(batches)
+	}
+
+	for w, e := range s.cfg.Mix {
+		sort.Float64s(perClass[w])
+		r.Workloads = append(r.Workloads, WorkloadStats{
+			Workload: e.Workload,
+			Requests: len(perClass[w]),
+			Latency:  latencyStats(perClass[w]),
+		})
+	}
+	return r
+}

@@ -64,13 +64,17 @@ func (d DiffResult) Summary() string {
 	return b.String()
 }
 
-// classify labels one old→new latency change against the threshold.
-func classify(oldS, newS, threshold float64) (rel float64, class string) {
+// Classify labels one old→new latency change against the fractional
+// threshold. A non-positive baseline with any different new value is a
+// regression (a latency appearing from zero is unboundedly worse — a
+// hollowed-out baseline must not classify as unchanged). This is the
+// shared gate semantics: hostbench.Diff classifies its wall-clock
+// deltas through the same function.
+func Classify(oldS, newS, threshold float64) (rel float64, class string) {
 	switch {
 	case oldS == newS:
 		return 0, ClassUnchanged
-	case oldS == 0:
-		// A latency appearing from zero is unboundedly worse.
+	case oldS <= 0:
 		return 1, ClassRegression
 	}
 	rel = newS/oldS - 1
@@ -107,7 +111,7 @@ func Diff(old, new []Record, threshold float64) DiffResult {
 			d.OnlyInNew = append(d.OnlyInNew, r.ID)
 			continue
 		}
-		rel, class := classify(o.TotalS, r.TotalS, threshold)
+		rel, class := Classify(o.TotalS, r.TotalS, threshold)
 		delta := Delta{ID: r.ID, OldS: o.TotalS, NewS: r.TotalS, Rel: rel, Class: class}
 		switch class {
 		case ClassRegression:

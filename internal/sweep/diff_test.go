@@ -112,6 +112,44 @@ func TestDiffZeroBaseline(t *testing.T) {
 	}
 }
 
+// TestClassifyEdgeCases pins Classify's corner semantics: zero and
+// negative baselines regress (unless bit-equal), and Diff clamps a
+// negative threshold to 0 so any drift classifies.
+func TestClassifyEdgeCases(t *testing.T) {
+	cases := []struct {
+		name       string
+		oldS, newS float64
+		threshold  float64
+		wantRel    float64
+		wantClass  string
+	}{
+		{"zero to positive", 0, 1e-6, 0.005, 1, ClassRegression},
+		{"zero to zero", 0, 0, 0.005, 0, ClassUnchanged},
+		{"negative baseline", -1e-6, 1e-6, 0.005, 1, ClassRegression},
+		{"equal values", 42e-6, 42e-6, 0.005, 0, ClassUnchanged},
+		// Raw Classify does not clamp: with a negative threshold every
+		// non-equal change lands on the regression side (Diff clamps
+		// thresholds to 0 before classifying).
+		{"negative threshold, increase", 100e-6, 100.0001e-6, -1, 1e-6, ClassRegression},
+		{"negative threshold, decrease", 100e-6, 99.9999e-6, -1, -1e-6, ClassRegression},
+	}
+	for _, tc := range cases {
+		rel, class := Classify(tc.oldS, tc.newS, tc.threshold)
+		if class != tc.wantClass {
+			t.Errorf("%s: class %q, want %q", tc.name, class, tc.wantClass)
+		}
+		if math.Abs(rel-tc.wantRel) > 1e-9 {
+			t.Errorf("%s: rel %g, want %g", tc.name, rel, tc.wantRel)
+		}
+	}
+	// Diff clamps a negative threshold to 0 — exact equality is still
+	// unchanged, any drift classifies.
+	d := Diff([]Record{rec("x", 1), rec("y", 1)}, []Record{rec("x", 1), rec("y", 1.0001)}, -0.5)
+	if d.Unchanged != 1 || len(d.Regressions) != 1 {
+		t.Errorf("negative threshold Diff: %+v", d)
+	}
+}
+
 // TestDiffRealSweepSelfCompare: a sweep diffed against itself is clean
 // — the no-change CI run goes green.
 func TestDiffRealSweepSelfCompare(t *testing.T) {

@@ -122,8 +122,10 @@ func enumerate(cfg Config) []swcase {
 	return cases
 }
 
-// buildProgram composes one workload on a compiler.
-func buildProgram(c *cross.Compiler, wl string) (*cross.Program, error) {
+// BuildProgram composes one named workload on a compiler — the shared
+// workload axis of the sweep engine and the serving simulator
+// (internal/serve prices its request classes through this).
+func BuildProgram(c *cross.Compiler, wl string) (*cross.Program, error) {
 	switch wl {
 	case WorkloadHEMult:
 		return cross.NewProgram(c).HEMult(), nil
@@ -160,7 +162,7 @@ func runCase(c swcase, cache *cross.ScheduleCache) (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
-	prog, err := buildProgram(comp, c.wl)
+	prog, err := BuildProgram(comp, c.wl)
 	if err != nil {
 		return Record{}, err
 	}

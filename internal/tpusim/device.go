@@ -10,11 +10,17 @@ import "math"
 type Device struct {
 	Spec  Spec
 	Trace *Trace
+
+	// collective is the device's interconnect trace. A bare core has no
+	// interconnect, so nothing ever charges it — but it is owned and
+	// swappable like a Pod's, so targets present one uniform collective
+	// face and callers never need a nil-guard.
+	collective *Trace
 }
 
-// NewDevice returns a device with an empty trace.
+// NewDevice returns a device with empty compute and collective traces.
 func NewDevice(spec Spec) *Device {
-	return &Device{Spec: spec, Trace: NewTrace()}
+	return &Device{Spec: spec, Trace: NewTrace(), collective: NewTrace()}
 }
 
 // --- Target face ---
@@ -43,16 +49,21 @@ func (d *Device) AllReduce(bytes int64) float64 { return 0 }
 // Broadcast is free on a single core.
 func (d *Device) Broadcast(bytes int64) float64 { return 0 }
 
-// CollectiveTrace reports the interconnect trace; a bare core has no
-// interconnect, so there is nothing to trace.
-func (d *Device) CollectiveTrace() *Trace { return nil }
+// CollectiveTrace reports the interconnect trace. A bare core has no
+// interconnect, so the trace stays empty — but it is always a real,
+// owned trace, never nil, so a Device and a Pod take the identical
+// costing code path (see Pod.CollectiveTrace).
+func (d *Device) CollectiveTrace() *Trace { return d.collective }
 
-// SetCollectiveTrace is a no-op: a bare core has no collective trace to
-// swap (see Pod.SetCollectiveTrace).
-func (d *Device) SetCollectiveTrace(*Trace) {}
+// SetCollectiveTrace swaps the interconnect trace — the same hook
+// trace-isolated costing uses on a Pod (see Pod.SetCollectiveTrace).
+func (d *Device) SetCollectiveTrace(t *Trace) { d.collective = t }
 
-// Reset clears the device trace.
-func (d *Device) Reset() { d.Trace.Reset() }
+// Reset clears the device's compute and collective traces.
+func (d *Device) Reset() {
+	d.Trace.Reset()
+	d.collective.Reset()
+}
 
 // ceilDiv rounds the quotient up.
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
@@ -71,9 +82,13 @@ func (d *Device) MatMulINT8Time(m, k, w int) float64 {
 	compute := macs / d.Spec.PeakMACs
 	// Pipeline fill: one pass of the array per K-tile column.
 	fill := float64(ceilDiv(kp, t)) * float64(t) / d.Spec.ClockHz
-	// Operand streaming: A once, B once, C written (INT8 in, INT32 out).
-	bytes := float64(mp*kp) + float64(kp*wp) + 4*float64(mp*wp)
-	mem := bytes / d.Spec.VMEMReadBW
+	// Operand streaming: A and B read once (INT8), C written (INT32).
+	// Reads and writes price against their own VMEM ports — Tab. IV
+	// carries a ~2–3× read/write asymmetry, so folding the INT32 output
+	// stream into read bandwidth understates memory time.
+	readBytes := float64(mp*kp) + float64(kp*wp)
+	writeBytes := 4 * float64(mp*wp)
+	mem := readBytes/d.Spec.VMEMReadBW + writeBytes/d.Spec.VMEMWriteBW
 	return math.Max(compute+fill, mem)
 }
 
@@ -108,9 +123,12 @@ func (d *Device) VecOpTime(n int, opsPerElem float64) float64 {
 	}
 	compute := float64(np) * opsPerElem * derate / d.Spec.VPUOps
 	// Every materialised HLO stage round-trips VMEM: opsPerElem stages
-	// each reading two operands and writing one result, with 64-bit
-	// intermediates stored as word pairs (~16 bytes per element-stage).
-	mem := float64(np) * 16 * opsPerElem / d.Spec.VMEMReadBW
+	// each streaming a 64-bit intermediate word pair in and the 64-bit
+	// result back out (~8 bytes each way per element-stage). The two
+	// halves of the round trip price against their own ports — write
+	// bandwidth is 2–3× lower than read on v4/v5e/v6e (Tab. IV).
+	stageBytes := float64(np) * 8 * opsPerElem
+	mem := stageBytes/d.Spec.VMEMReadBW + stageBytes/d.Spec.VMEMWriteBW
 	return math.Max(compute, mem)
 }
 

@@ -62,6 +62,36 @@ func TestCollectiveCostModel(t *testing.T) {
 	}
 }
 
+// TestBroadcastNonPowerOfTwoCores pins the binomial-tree step count on
+// pod sizes that are not powers of two: ⌈log₂n⌉ rounds, each moving
+// the full payload over one hop.
+func TestBroadcastNonPowerOfTwoCores(t *testing.T) {
+	bytes := int64(4 << 20)
+	cases := []struct {
+		cores int
+		steps float64
+	}{
+		{3, 2}, // ⌈log₂3⌉
+		{5, 3}, // ⌈log₂5⌉
+		{6, 3}, // ⌈log₂6⌉
+	}
+	for _, tc := range cases {
+		p := MustPod(TPUv5e(), tc.cores)
+		want := tc.steps * (float64(bytes)/p.Spec.ICIBandwidth + p.Spec.ICILatency)
+		if got := p.BroadcastTime(bytes); math.Abs(got-want) > 1e-12 {
+			t.Errorf("%d cores: broadcast = %g, want %g (%g steps)", tc.cores, got, want, tc.steps)
+		}
+	}
+	// Monotone in core count even across the non-power-of-two sizes.
+	for _, pair := range [][2]int{{2, 3}, {4, 5}, {5, 6}} {
+		lo := MustPod(TPUv5e(), pair[0]).BroadcastTime(bytes)
+		hi := MustPod(TPUv5e(), pair[1]).BroadcastTime(bytes)
+		if hi < lo {
+			t.Errorf("broadcast shrank from %d to %d cores: %g → %g", pair[0], pair[1], lo, hi)
+		}
+	}
+}
+
 // Collective time must grow with the core count for a fixed payload
 // (more hops), but sub-linearly for the bandwidth term (smaller
 // chunks): the scaling behaviour the sharded compiler relies on.

@@ -127,6 +127,50 @@ func TestRooflineMemoryBound(t *testing.T) {
 	}
 }
 
+func TestRooflineWriteAsymmetry(t *testing.T) {
+	// Regression test for the roofline write path: the INT32 matmul
+	// output stream must be charged at VMEMWriteBW (2–3× slower than
+	// read on v4/v5e/v6e), not folded into read bandwidth.
+	d := NewDevice(TPUv4())
+	// Wide and shallow: the m·w INT32 output dwarfs the INT8 inputs,
+	// so the kernel is write-stream-bound on v4 (write BW = ½ read BW).
+	m, k, w := 8192, 128, 8192
+	read := float64(m*k) + float64(k*w)
+	write := 4 * float64(m) * float64(w)
+	want := read/d.Spec.VMEMReadBW + write/d.Spec.VMEMWriteBW
+	if got := d.MatMulINT8Time(m, k, w); math.Abs(got-want) > want*1e-12 {
+		t.Errorf("write-bound matmul = %g, want split-port memory time %g", got, want)
+	}
+	// On every generation the write stream alone lower-bounds the
+	// charged time; the pre-fix model (all bytes at read bandwidth)
+	// undercuts this on v4.
+	for _, s := range AllSpecs() {
+		dev := NewDevice(s)
+		if got, bound := dev.MatMulINT8Time(m, k, w), write/s.VMEMWriteBW; got < bound {
+			t.Errorf("%s: matmul %g below write-stream bound %g", s.Name, got, bound)
+		}
+	}
+}
+
+func TestVecOpWriteAsymmetry(t *testing.T) {
+	// Regression test: each VPU element-stage writes its 64-bit result
+	// back through the (slower) write port. A big memory-bound vector
+	// op must price reads and writes on separate ports.
+	d := NewDevice(TPUv4())
+	n, ops := 1<<20, 6.0
+	stageBytes := float64(n) * 8 * ops
+	want := stageBytes/d.Spec.VMEMReadBW + stageBytes/d.Spec.VMEMWriteBW
+	got := d.VecOpTime(n, ops)
+	if math.Abs(got-want) > want*1e-12 {
+		t.Errorf("memory-bound vec op = %g, want split-port memory time %g", got, want)
+	}
+	// Strictly slower than the pre-fix model, which pushed the whole
+	// 16-byte round trip through read bandwidth.
+	if old := 2 * stageBytes / d.Spec.VMEMReadBW; got <= old {
+		t.Errorf("vec op %g not slower than the all-read-bandwidth model %g", got, old)
+	}
+}
+
 func TestTraceAccumulation(t *testing.T) {
 	d := NewDevice(TPUv4())
 	d.MatMulINT8(CatNTTMatMul, 256, 256, 256)

@@ -197,8 +197,9 @@ func HELRSchedule(features int) OpCounts {
 		// X·w inner product (BSGS) + backward X^T·e.
 		Rotates: 4 * sq,
 		PtMuls:  2 * features / 8,
-		// sigmoid ≈ c0 + c1·z + c3·z³: two mults.
-		Mults:    3,
+		// sigmoid ≈ c0 + c1·z + c3·z³: two mults (z², then z²·z; the
+		// c1·z and c3·z³ scalings are PtMuls counted above).
+		Mults:    2,
 		Adds:     2*features/8 + 4,
 		PtAdds:   4,
 		Rescales: 4,

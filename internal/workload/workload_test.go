@@ -81,6 +81,24 @@ func TestHELREstimateShape(t *testing.T) {
 	}
 }
 
+func TestHELRSchedulePinned(t *testing.T) {
+	// Regression pin for the HELR iteration schedule: the degree-3
+	// sigmoid is exactly two ciphertext mults (z², then z²·z) — it was
+	// once miscounted as three.
+	got := HELRSchedule(HELRFeatures)
+	want := OpCounts{
+		Rotates:  64, // 4·√196 rounded up to a power of two (BSGS fwd+bwd)
+		PtMuls:   49, // 2·196/8
+		Mults:    2,
+		Adds:     53, // 2·196/8 + 4
+		PtAdds:   4,
+		Rescales: 4,
+	}
+	if got != want {
+		t.Errorf("HELR schedule drifted:\n got %+v\nwant %+v", got, want)
+	}
+}
+
 func TestMNISTScheduleComposition(t *testing.T) {
 	var counts OpCounts
 	for _, l := range MNISTNetwork() {
