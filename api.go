@@ -17,10 +17,15 @@
 //     lowering code path. Kernel lowerings produce Schedule values:
 //     structured artifacts carrying total latency, the per-category
 //     breakdown, kernel-invocation counts, and shard/collective
-//     metadata. NewProgram composes multi-operator HE workloads
-//     (mult → rotate → bootstrap → …) into one costed, memoized
-//     schedule. The legacy Cost* float methods remain as thin
-//     deprecated wrappers over Schedule.Total.
+//     metadata — plus the overlap-aware latency pair: every lowering
+//     is also recorded as a dependency DAG of timed segments
+//     (SegDAG) executed by a discrete-event engine, so a Schedule
+//     reports both SerialTotal (the paper-faithful serial model) and
+//     OverlappedTotal (collectives and HBM streaming hidden behind
+//     compute; DESIGN.md §13). NewProgram composes multi-operator HE
+//     workloads (mult → rotate → bootstrap → …) into one costed,
+//     memoized schedule. The legacy Cost* float methods remain as
+//     thin deprecated wrappers over Schedule.Total.
 //   - Experiments layer: Experiment/AllExperiments regenerate every
 //     table and figure of the paper's §V with paper-vs-measured rows,
 //     plus the beyond-paper core-count scaling sweep.
@@ -127,6 +132,31 @@ type Schedule = icross.Schedule
 
 // KernelCounts tallies the kernel launches of one Schedule.
 type KernelCounts = icross.KernelCounts
+
+// SegDAG is the dependency DAG of timed segments behind a Schedule's
+// OverlappedTotal: nodes are compute / VMEM / HBM / ICI segments,
+// edges are execution-order dependencies, and Execute returns the
+// DAG's makespan under the deterministic discrete-event engine
+// (DESIGN.md §13).
+type SegDAG = icross.SegDAG
+
+// SegNode is one timed segment of a SegDAG.
+type SegNode = icross.SegNode
+
+// SegKind classifies the resource a SegDAG segment occupies.
+type SegKind = icross.SegKind
+
+// Segment kinds.
+const (
+	SegCompute = icross.SegCompute
+	SegVMEM    = icross.SegVMEM
+	SegHBM     = icross.SegHBM
+	SegICI     = icross.SegICI
+)
+
+// NewSegDAG returns an empty segment DAG (hand-built DAGs are how the
+// engine's critical-path semantics are unit-tested).
+func NewSegDAG() *SegDAG { return icross.NewSegDAG() }
 
 // Program composes multi-operator HE workloads into one costed,
 // memoized schedule: NewProgram(c).HEMult().Rotate(1).Batch(64).Lower().
@@ -401,10 +431,18 @@ type SweepDiffResult = sweep.DiffResult
 // one).
 func Sweep(cfg SweepConfig) ([]SweepRecord, error) { return sweep.Run(cfg) }
 
+// Gated sweep metrics (SweepDiffResult.FilterMetric, crossbench
+// -metric): the serial total and the overlap-aware makespan.
+const (
+	SweepMetricTotal      = sweep.MetricTotal
+	SweepMetricOverlapped = sweep.MetricOverlapped
+)
+
 // SweepDiff compares two sweeps record-by-record and classifies each
-// latency change against the fractional threshold (0.005 = 0.5%, the
-// CI gate's default). The result's HasRegressions is the gate
-// condition crossbench -compare exits non-zero on.
+// latency change — total_s always, overlapped_s when both sides carry
+// the column — against the fractional threshold (0.005 = 0.5%, the CI
+// gate's default). The result's HasRegressions is the gate condition
+// crossbench -compare exits non-zero on.
 func SweepDiff(old, new []SweepRecord, threshold float64) SweepDiffResult {
 	return sweep.Diff(old, new, threshold)
 }

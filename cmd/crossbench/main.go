@@ -15,6 +15,7 @@
 //	crossbench -sweep -parallel 8 -json       # full sweep, machine-readable
 //	crossbench -compare BENCH_baseline.json   # fresh sweep vs baseline; exit 1 on regression
 //	crossbench -compare BENCH_baseline.json -threshold 0.01
+//	crossbench -compare BENCH_baseline.json -metric overlapped  # gate only the overlap-aware column
 //	crossbench -compare BENCH_baseline.json -out sweep.json  # keep the fresh sweep too
 //	crossbench -hostbench                     # measure host kernels (real ns/op + allocs/op)
 //	crossbench -hostbench -compare BENCH_host.json -threshold 0.25  # wall-clock gate
@@ -23,6 +24,7 @@
 //	crossbench -serve -rate 2000 -pods 8 -policy jsq -json
 //	crossbench -serve -device TPUv4 -set A -batch 8 -delay 0.001 -horizon 0.5
 //	crossbench -serve -mix "HE-Mult=0.6,Rotate=0.3,MNIST=0.1" -seed 42
+//	crossbench -serve -overlap                # price batches at the overlap-aware makespan
 //	crossbench -json [...]     # machine-readable output (any mode)
 //
 // With -json the tool emits JSON instead of the formatted tables:
@@ -202,14 +204,16 @@ func main() {
 	delay := flag.Float64("delay", 0, "serve: max queue delay in seconds an idle pod holds a non-full batch (default 0)")
 	mix := flag.String("mix", "", `serve: workload mix as "HE-Mult=0.6,Rotate=0.3,MNIST=0.1" (default mixed operator+MNIST traffic)`)
 	set := flag.String("set", "", `serve: parameter-set letter A-D (default "B")`)
+	overlap := flag.Bool("overlap", false, "serve: price service times at the overlap-aware OverlappedTotal instead of the serial total")
 	compare := flag.String("compare", "", "run a fresh sweep (or host benchmark with -hostbench) and diff it against a baseline JSON file; exit 1 on regression")
+	metric := flag.String("metric", "all", "sweep -compare: gate on one latency column — total, overlapped, or all")
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = NumCPU); output is identical at every value")
 	threshold := flag.Float64("threshold", 0.005, "fractional regression threshold for -compare (0.005 = 0.5%; -hostbench defaults to 0.25)")
 	out := flag.String("out", "", "also write the fresh records JSON to this file (-sweep, -hostbench or -compare); lets CI keep the artifact without running the measurement twice")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of formatted tables")
 	flag.Parse()
 
-	deviceSet, thresholdSet, parallelSet, outSet := false, false, false, false
+	deviceSet, thresholdSet, parallelSet, outSet, metricSet := false, false, false, false, false
 	serveFlagSet := ""
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -221,7 +225,9 @@ func main() {
 			parallelSet = true
 		case "out":
 			outSet = true
-		case "rate", "pods", "cores", "policy", "seed", "horizon", "batch", "delay", "mix", "set":
+		case "metric":
+			metricSet = true
+		case "rate", "pods", "cores", "policy", "seed", "horizon", "batch", "delay", "mix", "set", "overlap":
 			serveFlagSet = f.Name
 		}
 	})
@@ -257,12 +263,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "crossbench: -%s only applies to -serve\n", serveFlagSet)
 		os.Exit(1)
 	}
+	if metricSet && (*compare == "" || *hostbenchMode) {
+		fmt.Fprintln(os.Stderr, "crossbench: -metric only applies to sweep -compare")
+		os.Exit(1)
+	}
+	gateMetric := ""
+	switch *metric {
+	case "all":
+	case "total":
+		gateMetric = cross.SweepMetricTotal
+	case "overlapped":
+		gateMetric = cross.SweepMetricOverlapped
+	default:
+		fmt.Fprintf(os.Stderr, "crossbench: -metric must be total, overlapped or all, got %q\n", *metric)
+		os.Exit(1)
+	}
 
 	if *serveMode {
 		cfg := cross.ServeConfig{
 			Seed: *seed, Set: *set, Pods: *pods, CoresPerPod: *podCores,
 			Policy: *policy, Rate: *rate, HorizonS: *horizon,
-			MaxBatch: *batch, MaxDelayS: *delay, Parallel: *parallel,
+			MaxBatch: *batch, MaxDelayS: *delay, Overlap: *overlap, Parallel: *parallel,
 		}
 		if deviceSet {
 			cfg.Spec = *device
@@ -305,8 +326,8 @@ func main() {
 			return
 		}
 		for _, r := range recs {
-			fmt.Printf("%-32s %12.4g s  (collective %.4g s, %d kernel launches)\n",
-				r.ID, r.TotalS, r.CollectiveS, r.Kernels.Total())
+			fmt.Printf("%-32s %12.4g s  (overlapped %.4g s, collective %.4g s, %d kernel launches)\n",
+				r.ID, r.TotalS, r.OverlappedS, r.CollectiveS, r.Kernels.Total())
 		}
 		return
 	}
@@ -328,7 +349,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		diff := cross.SweepDiff(baseline, recs, *threshold)
+		diff := cross.SweepDiff(baseline, recs, *threshold).FilterMetric(gateMetric)
 		if *asJSON {
 			emitJSON(diff)
 		} else {

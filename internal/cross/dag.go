@@ -1,0 +1,197 @@
+package cross
+
+import (
+	"fmt"
+
+	"cross/internal/tpusim"
+)
+
+// This file is the overlap-aware half of the Schedule IR (DESIGN.md
+// §13): instead of summing every charged segment, a lowering is
+// recorded as a dependency DAG of timed segments on four resources —
+// compute (MXU/VPU/XLU), VMEM relayout, HBM streaming, and the ICI
+// link — and executed by the discrete-event engine in engine.go. The
+// serial total stays the plain sum (bit-identical to the pre-DAG
+// model); the DAG's makespan is the overlapped total.
+
+// SegKind classifies which resource a DAG segment occupies. Segments
+// on different resources may overlap; segments on the same resource
+// serialize (each kind keeps in-order issue on its unit).
+type SegKind uint8
+
+const (
+	// SegCompute runs on the core's functional units (MXU, VPU, XLU).
+	SegCompute SegKind = iota
+	// SegVMEM is an on-chip copy/reshape between kernels.
+	SegVMEM
+	// SegHBM is off-chip operand streaming (double-buffered limbs).
+	SegHBM
+	// SegICI is an interconnect collective on the pod's ICI links.
+	SegICI
+)
+
+// String names the kind for labels and test failure messages.
+func (k SegKind) String() string {
+	switch k {
+	case SegCompute:
+		return "compute"
+	case SegVMEM:
+		return "vmem"
+	case SegHBM:
+		return "hbm"
+	case SegICI:
+		return "ici"
+	}
+	return fmt.Sprintf("SegKind(%d)", uint8(k))
+}
+
+// SegNode is one timed segment of a schedule DAG. Deps are indices of
+// nodes that must finish before this one starts.
+type SegNode struct {
+	Kind  SegKind
+	Label string
+	Dur   float64
+	Deps  []int
+}
+
+// SegDAG is a dependency DAG of timed segments. Nodes are append-only;
+// an edge dep→i means node i starts no earlier than dep finishes.
+type SegDAG struct {
+	Nodes []SegNode
+}
+
+// NewSegDAG returns an empty DAG.
+func NewSegDAG() *SegDAG { return &SegDAG{} }
+
+// Add appends a node and returns its index, for use as a dependency of
+// later nodes.
+func (d *SegDAG) Add(kind SegKind, label string, dur float64, deps ...int) int {
+	id := len(d.Nodes)
+	d.Nodes = append(d.Nodes, SegNode{
+		Kind:  kind,
+		Label: label,
+		Dur:   dur,
+		Deps:  append([]int(nil), deps...),
+	})
+	return id
+}
+
+// Edges counts dependency edges.
+func (d *SegDAG) Edges() int {
+	n := 0
+	for _, nd := range d.Nodes {
+		n += len(nd.Deps)
+	}
+	return n
+}
+
+// SerialSum is the sum of every segment duration — the DAG's latency
+// under the fully serial (no-overlap) execution model.
+func (d *SegDAG) SerialSum() float64 {
+	var s float64
+	for _, nd := range d.Nodes {
+		s += nd.Dur
+	}
+	return s
+}
+
+// segKindOf maps a trace category to the resource its segment occupies.
+// Everything that is not interconnect, off-chip streaming, or an
+// inter-kernel relayout runs on the core's functional units.
+func segKindOf(category string) SegKind {
+	switch category {
+	case tpusim.CatICI:
+		return SegICI
+	case tpusim.CatHBM:
+		return SegHBM
+	case tpusim.CatCopyReshape:
+		return SegVMEM
+	default:
+		return SegCompute
+	}
+}
+
+// dagBuilder turns a lowering's ordered charge stream (observed via
+// tpusim.Trace.Observe) into a SegDAG. Edge rules (DESIGN.md §13):
+//
+//   - Compute and VMEM segments form the serial on-core chain, in
+//     charge order — the paper's CROSS kernels do not pipeline across
+//     each other (§V-E), so consecutive compute charges merge into one
+//     run node and a VMEM relayout punctuates the run.
+//   - An HBM segment depends on the serial node *before* the run it
+//     was issued under plus the previous HBM segment (the link is
+//     in-order): double-buffered streaming that overlaps the current
+//     compute run. The next serial node then depends on every HBM
+//     segment issued since the last one — the buffer-swap barrier.
+//   - An ICI segment depends on the serial chain tail at its issue
+//     point plus the previous ICI segment: an async in-order link with
+//     no consumer edge back into the chain, so a collective is hidden
+//     behind whatever compute follows it and only the DAG's makespan
+//     (the op's retire barrier) waits for it — which is exactly what
+//     bends pod-scaling curves at the ICI-bound knee.
+type dagBuilder struct {
+	d          *SegDAG
+	tail       int   // current serial-chain tail (-1 when empty)
+	prev       int   // serial node before tail (-1 when none)
+	lastHBM    int   // previous HBM node (-1 when none)
+	lastICI    int   // previous ICI node (-1 when none)
+	pendingHBM []int // HBM nodes the next serial node must wait on
+	merging    bool  // tail is an open compute run absorbing charges
+}
+
+func newDAGBuilder() *dagBuilder {
+	return &dagBuilder{d: NewSegDAG(), tail: -1, prev: -1, lastHBM: -1, lastICI: -1}
+}
+
+// serialNode appends a node to the serial on-core chain, closing it
+// over any HBM segments issued since the previous chain node.
+func (b *dagBuilder) serialNode(kind SegKind, label string, sec float64) {
+	deps := make([]int, 0, 1+len(b.pendingHBM))
+	if b.tail >= 0 {
+		deps = append(deps, b.tail)
+	}
+	deps = append(deps, b.pendingHBM...)
+	b.pendingHBM = b.pendingHBM[:0]
+	id := b.d.Add(kind, label, sec, deps...)
+	b.prev, b.tail = b.tail, id
+}
+
+// segment consumes one observed trace charge. Zero-duration charges
+// (e.g. single-core collectives) produce no node.
+func (b *dagBuilder) segment(category string, sec float64) {
+	if sec <= 0 {
+		return
+	}
+	switch segKindOf(category) {
+	case SegCompute:
+		if b.merging && len(b.pendingHBM) == 0 {
+			b.d.Nodes[b.tail].Dur += sec
+			return
+		}
+		b.serialNode(SegCompute, "compute", sec)
+		b.merging = true
+	case SegVMEM:
+		b.serialNode(SegVMEM, category, sec)
+		b.merging = false
+	case SegHBM:
+		deps := make([]int, 0, 2)
+		if b.prev >= 0 {
+			deps = append(deps, b.prev)
+		}
+		if b.lastHBM >= 0 {
+			deps = append(deps, b.lastHBM)
+		}
+		b.lastHBM = b.d.Add(SegHBM, category, sec, deps...)
+		b.pendingHBM = append(b.pendingHBM, b.lastHBM)
+	case SegICI:
+		deps := make([]int, 0, 2)
+		if b.tail >= 0 {
+			deps = append(deps, b.tail)
+		}
+		if b.lastICI >= 0 {
+			deps = append(deps, b.lastICI)
+		}
+		b.lastICI = b.d.Add(SegICI, category, sec, deps...)
+		b.merging = false
+	}
+}

@@ -1,0 +1,102 @@
+package cross
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// The discrete-event engine that executes a SegDAG — the same
+// exact-ordered event-loop shape as internal/serve's simulator
+// (min-heap keyed by time with a deterministic tiebreak), generalized
+// from request arrivals to segment completions.
+//
+// Determinism contract (DESIGN.md §13): the makespan is a pure
+// function of the DAG's node set and edges. A ready node starts at the
+// max of its dependencies' finish times, and max/+ over float64 are
+// exact and order-independent over a fixed operand set, so the result
+// is invariant to node insertion order and to heap pop order among
+// ties — there is no resource contention to arbitrate. The (time,
+// node-index) tiebreak makes even the *event order* total, which is
+// what the fuzz harness pins.
+
+// segEvent is one segment completion.
+type segEvent struct {
+	at   float64 // finish time
+	node int     // node index — deterministic tiebreak
+}
+
+// segEventHeap is a min-heap on (at, node).
+type segEventHeap []segEvent
+
+func (h segEventHeap) Len() int { return len(h) }
+func (h segEventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].node < h[j].node
+}
+func (h segEventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *segEventHeap) Push(x any)   { *h = append(*h, x.(segEvent)) }
+func (h *segEventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Execute runs the DAG to completion and returns its makespan — the
+// overlapped latency. Malformed dependencies (out-of-range indices)
+// and dependency cycles are reported as errors; a cycle can never
+// deadlock the engine because unexecutable nodes are counted, not
+// waited on.
+func (d *SegDAG) Execute() (float64, error) {
+	n := len(d.Nodes)
+	if n == 0 {
+		return 0, nil
+	}
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for i, nd := range d.Nodes {
+		for _, dep := range nd.Deps {
+			if dep < 0 || dep >= n {
+				return 0, fmt.Errorf("cross: DAG node %d dependency %d out of range [0,%d)", i, dep, n)
+			}
+			indeg[i]++
+			succ[dep] = append(succ[dep], i)
+		}
+	}
+
+	// ready[i] is the max finish time over i's satisfied dependencies.
+	ready := make([]float64, n)
+	h := make(segEventHeap, 0, n)
+	for i, nd := range d.Nodes {
+		if indeg[i] == 0 {
+			h = append(h, segEvent{at: nd.Dur, node: i})
+		}
+	}
+	heap.Init(&h)
+
+	var makespan float64
+	executed := 0
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(segEvent)
+		executed++
+		if e.at > makespan {
+			makespan = e.at
+		}
+		for _, s := range succ[e.node] {
+			if e.at > ready[s] {
+				ready[s] = e.at
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				heap.Push(&h, segEvent{at: ready[s] + d.Nodes[s].Dur, node: s})
+			}
+		}
+	}
+	if executed != n {
+		return 0, fmt.Errorf("cross: DAG has a dependency cycle (%d of %d segments unreachable)", n-executed, n)
+	}
+	return makespan, nil
+}

@@ -195,14 +195,21 @@ func (p *Program) sched(st progStep) *Schedule {
 // (§V-A methodology).
 func (p *Program) Lower() *Schedule {
 	trace := tpusim.NewTrace()
-	var total, collective float64
+	var total, collective, overlapped float64
 	var kernels KernelCounts
+	var dagNodes, dagEdges int
 	var labels []string
 	for _, st := range p.steps {
 		s := p.sched(st)
 		total += float64(st.count) * s.Total
 		collective += float64(st.count) * s.Collective
+		// Operators execute serially with no cross-op fusion (§V-A), so
+		// overlap is intra-op only: overlapped program time is the sum
+		// of per-op overlapped times.
+		overlapped += float64(st.count) * s.Overlapped
 		kernels = kernels.plus(s.Kernels.times(st.count * p.batch))
+		dagNodes += st.count * p.batch * s.DAGNodes
+		dagEdges += st.count * p.batch * s.DAGEdges
 		for cat, sec := range s.Trace.ByCategory() {
 			trace.Add(cat, sec*float64(st.count*p.batch))
 		}
@@ -214,6 +221,7 @@ func (p *Program) Lower() *Schedule {
 	}
 	total *= float64(p.batch)
 	collective *= float64(p.batch)
+	overlapped *= float64(p.batch)
 
 	op := "Program[" + strings.Join(labels, " + ") + "]"
 	if p.batch > 1 {
@@ -226,6 +234,9 @@ func (p *Program) Lower() *Schedule {
 		Params:     p.c.P,
 		Total:      total,
 		Collective: collective,
+		Overlapped: overlapped,
+		DAGNodes:   dagNodes,
+		DAGEdges:   dagEdges,
 		Trace:      trace,
 		Kernels:    kernels,
 	}

@@ -49,6 +49,45 @@ func TestConcurrentLowerOnSharedCompiler(t *testing.T) {
 	}
 }
 
+// TestConcurrentOverlappedLower is the DAG engine's race tripwire:
+// the observer attach/detach and DAG build/execute in LowerOp are
+// compiler-global state under the same lock as the trace swap, and the
+// overlapped makespan must be as deterministic under concurrency as
+// the serial total.
+func TestConcurrentOverlappedLower(t *testing.T) {
+	c, err := Compile(tpusim.MustPod(tpusim.TPUv6e(), 8), SetD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := c.LowerHEMult()
+	wantOv, wantNodes := ref.Overlapped, ref.DAGNodes
+	if wantOv <= 0 || wantOv >= ref.Total {
+		t.Fatalf("reference lowering shows no overlap (%g of %g) — tripwire is vacuous", wantOv, ref.Total)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				s := c.LowerHEMult()
+				if s.Overlapped != wantOv || s.DAGNodes != wantNodes {
+					errs <- "overlapped lowering changed under concurrency"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
 // TestConcurrentProgramLower lowers one shared Program from many
 // goroutines; the memo map write used to race.
 func TestConcurrentProgramLower(t *testing.T) {

@@ -106,6 +106,20 @@ type Schedule struct {
 	// single-core targets.
 	Collective float64
 
+	// Overlapped is the end-to-end latency under the overlap-aware
+	// execution model (DESIGN.md §13): the makespan of the lowering's
+	// segment DAG, where HBM streaming double-buffers behind compute
+	// and ICI collectives run asynchronously on the link. Always in
+	// (0, Total] for a non-empty lowering; Total stays the serial
+	// (paper-faithful §V-E) model.
+	Overlapped float64
+
+	// DAGNodes and DAGEdges summarise the segment DAG Overlapped was
+	// executed from. The graph itself is not retained (schedules are
+	// cached process-wide); program-level schedules sum their ops'.
+	DAGNodes int
+	DAGEdges int
+
 	// Trace is the per-category breakdown (Fig. 12's legend), with the
 	// collective share under tpusim.CatICI.
 	Trace *tpusim.Trace
@@ -116,6 +130,41 @@ type Schedule struct {
 
 // Compute returns the core-compute share of Total (Total − Collective).
 func (s *Schedule) Compute() float64 { return s.Total - s.Collective }
+
+// SerialTotal returns the fully serialized latency — the pre-DAG
+// additive model, bit-identical to Total (golden-tested against
+// BENCH_baseline.json).
+func (s *Schedule) SerialTotal() float64 { return s.Total }
+
+// OverlappedTotal returns the overlap-aware latency (the DAG makespan).
+func (s *Schedule) OverlappedTotal() float64 { return s.Overlapped }
+
+// OverlapFraction reports the share of the serial latency hidden by
+// overlap: (SerialTotal − OverlappedTotal) / SerialTotal, clamped to
+// [0, 1]; zero for an empty schedule.
+func (s *Schedule) OverlapFraction() float64 {
+	if s.Total <= 0 {
+		return 0
+	}
+	f := (s.Total - s.Overlapped) / s.Total
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// PricedTotal selects the latency downstream consumers charge for:
+// OverlappedTotal when overlap is set, SerialTotal otherwise. This is
+// the single switch sweep/serve/harness/crossbench price through.
+func (s *Schedule) PricedTotal(overlap bool) float64 {
+	if overlap {
+		return s.Overlapped
+	}
+	return s.Total
+}
 
 // Seconds returns the time charged to one trace category.
 func (s *Schedule) Seconds(category string) float64 { return s.Trace.Seconds(category) }
@@ -134,6 +183,9 @@ func (s *Schedule) String() string {
 	if s.Collective > 0 {
 		fmt.Fprintf(&b, " (%.2f µs collective)", s.Collective*1e6)
 	}
+	if f := s.OverlapFraction(); f > 0 {
+		fmt.Fprintf(&b, " — overlapped %.2f µs (%.1f%% hidden)", s.Overlapped*1e6, 100*f)
+	}
 	fmt.Fprintf(&b, "\nkernels: %s\n%s", s.Kernels, s.Breakdown())
 	return b.String()
 }
@@ -141,8 +193,11 @@ func (s *Schedule) String() string {
 // LowerOp lowers an arbitrary costing closure into a Schedule: the
 // closure runs against fresh compute and collective traces (the live
 // traces are untouched) and the elapsed time, breakdown, and kernel
-// counts are captured. This is the generic escape hatch; the named
-// Lower* methods cover the standard operators.
+// counts are captured. The charge stream is simultaneously recorded as
+// a segment DAG (dag.go) and executed by the discrete-event engine
+// (engine.go) to produce the overlapped latency; Total remains the
+// plain serial sum. This is the generic escape hatch; the named Lower*
+// methods cover the standard operators.
 func (c *Compiler) LowerOp(op string, f func() float64) *Schedule {
 	// One lowering at a time per compiler: the trace swap and tally
 	// reset below are compiler-global state. Cost closures never call
@@ -151,10 +206,18 @@ func (c *Compiler) LowerOp(op string, f func() float64) *Schedule {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
+	// Both fresh traces feed one DAG builder, so compute charges and
+	// collective charges interleave in true issue order — LowerOp holds
+	// the compiler lock, so the stream is single-goroutine.
+	b := newDAGBuilder()
+
 	savedCompute := c.Dev.Trace
 	c.Dev.Trace = tpusim.NewTrace()
+	c.Dev.Trace.Observe(b.segment)
 	savedCollective := c.T.CollectiveTrace()
-	c.T.SetCollectiveTrace(tpusim.NewTrace())
+	collective := tpusim.NewTrace()
+	collective.Observe(b.segment)
+	c.T.SetCollectiveTrace(collective)
 	savedTally := c.tally
 	c.tally = KernelCounts{}
 	// Restore under defer so a panicking closure cannot leave the
@@ -166,6 +229,11 @@ func (c *Compiler) LowerOp(op string, f func() float64) *Schedule {
 	}()
 
 	total := f()
+
+	// Detach the observers before the roll-up Add below: the summary
+	// CatICI charge is bookkeeping, not a new segment.
+	c.Dev.Trace.Observe(nil)
+	collective.Observe(nil)
 
 	s := &Schedule{
 		Op:      op,
@@ -184,6 +252,23 @@ func (c *Compiler) LowerOp(op string, f func() float64) *Schedule {
 	if math.IsNaN(total) || total < 0 {
 		panic("cross: cost function returned invalid time")
 	}
+
+	overlapped, err := b.d.Execute()
+	if err != nil {
+		// The builder only ever emits back-edges, so a cycle here is a
+		// builder bug, not a data condition.
+		panic("cross: lowering produced an unexecutable segment DAG: " + err.Error())
+	}
+	// The makespan sums segment durations along paths in a different
+	// association order than the closure's running total, so it can
+	// exceed Total by a few ulps on overlap-free DAGs; clamp so
+	// Overlapped ≤ Total holds exactly.
+	if overlapped > total {
+		overlapped = total
+	}
+	s.Overlapped = overlapped
+	s.DAGNodes = len(b.d.Nodes)
+	s.DAGEdges = b.d.Edges()
 	return s
 }
 

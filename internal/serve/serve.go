@@ -101,6 +101,13 @@ type Config struct {
 
 	Mix []MixEntry `json:"mix"` // workload mix (default DefaultMix)
 
+	// Overlap prices service times at Schedule.OverlappedTotal (the
+	// overlap-aware DAG makespan) instead of the serial SerialTotal —
+	// the downstream half of the Schedule.PricedTotal switch. Part of
+	// the record schema: two runs differing only in Overlap are
+	// distinguishable from their echoed Configs.
+	Overlap bool `json:"overlap"`
+
 	// Parallel is the worker count for pre-pricing the service-time
 	// table; ≤ 0 means NumCPU. Results are bit-identical at every
 	// value, so it is excluded from the record schema.
@@ -308,7 +315,7 @@ func price(cfg Config) (*priceTable, error) {
 					continue
 				}
 				s := prog.WithCache(cache).Batch(t.batch).Lower()
-				raw[t.class][t.batch-1] = s.Total
+				raw[t.class][t.batch-1] = s.PricedTotal(cfg.Overlap)
 				if t.batch == 1 {
 					// Kernel launches per request (collectives are not XLA
 					// launches and are not amortised by operand stacking).
@@ -401,12 +408,16 @@ func (r *Result) Summary() string {
 	if r.CapacityRate > 0 {
 		load = r.OfferedRate / r.CapacityRate
 	}
+	pricing := ""
+	if r.Config.Overlap {
+		pricing = ", overlap-priced"
+	}
 	out := fmt.Sprintf(
-		"serve %s ×%d pods (%d core(s) each), Set%s, policy %s, batch ≤ %d\n"+
+		"serve %s ×%d pods (%d core(s) each), Set%s, policy %s, batch ≤ %d%s\n"+
 			"offered %.1f req/s (%.0f%% of capacity %.1f), achieved %.1f req/s over %.4f s\n"+
 			"latency p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  (mean %.3f, max %.3f)\n"+
 			"batches %.2f requests/launch, peak queue depth %d\n",
-		r.Config.Spec, r.Config.Pods, r.Config.CoresPerPod, r.Config.Set, r.Config.Policy, r.Config.MaxBatch,
+		r.Config.Spec, r.Config.Pods, r.Config.CoresPerPod, r.Config.Set, r.Config.Policy, r.Config.MaxBatch, pricing,
 		r.OfferedRate, 100*load, r.CapacityRate, r.AchievedRate, r.MakespanS,
 		r.Latency.P50S*1e3, r.Latency.P95S*1e3, r.Latency.P99S*1e3, r.Latency.MeanS*1e3, r.Latency.MaxS*1e3,
 		r.MeanBatch, r.MaxQueueDepth)

@@ -350,3 +350,48 @@ func TestServeValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestServeOverlapPricing: the Overlap flag routes pricing through
+// Schedule.OverlappedTotal — service times shrink, so at a fixed
+// offered rate the overlap-priced fleet has strictly more capacity and
+// no worse latency than the serial-priced one, and the flag is echoed
+// in the record schema.
+func TestServeOverlapPricing(t *testing.T) {
+	base := Config{
+		Seed:        3,
+		Set:         "D",
+		Pods:        2,
+		CoresPerPod: 4,
+		Rate:        500,
+		HorizonS:    0.02,
+		MaxBatch:    4,
+		Mix:         hemultOnly(),
+	}
+	serial, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := base
+	over.Overlap = true
+	overlapped, err := Run(over)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !overlapped.Config.Overlap || serial.Config.Overlap {
+		t.Errorf("Overlap flag not echoed: serial=%v overlapped=%v",
+			serial.Config.Overlap, overlapped.Config.Overlap)
+	}
+	if overlapped.CapacityRate <= serial.CapacityRate {
+		t.Errorf("overlap pricing capacity %g not above serial %g",
+			overlapped.CapacityRate, serial.CapacityRate)
+	}
+	if overlapped.Latency.P99S > serial.Latency.P99S {
+		t.Errorf("overlap pricing p99 %g above serial %g",
+			overlapped.Latency.P99S, serial.Latency.P99S)
+	}
+	if overlapped.Requests != serial.Requests {
+		t.Errorf("arrival trace changed with pricing: %d vs %d requests",
+			overlapped.Requests, serial.Requests)
+	}
+}

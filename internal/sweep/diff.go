@@ -10,13 +10,14 @@ import (
 // fails when any modeled latency regressed beyond the threshold
 // (DESIGN.md §9).
 
-// Delta is one record's old-vs-new comparison.
+// Delta is one record's old-vs-new comparison on one metric.
 type Delta struct {
-	ID    string  `json:"id"`
-	OldS  float64 `json:"old_s"`
-	NewS  float64 `json:"new_s"`
-	Rel   float64 `json:"rel"`   // NewS/OldS − 1 (signed fractional change)
-	Class string  `json:"class"` // "regression" | "improvement" | "unchanged"
+	ID     string  `json:"id"`
+	Metric string  `json:"metric"` // "total_s" | "overlapped_s"
+	OldS   float64 `json:"old_s"`
+	NewS   float64 `json:"new_s"`
+	Rel    float64 `json:"rel"`   // NewS/OldS − 1 (signed fractional change)
+	Class  string  `json:"class"` // "regression" | "improvement" | "unchanged"
 }
 
 // Delta classes.
@@ -24,6 +25,12 @@ const (
 	ClassRegression  = "regression"
 	ClassImprovement = "improvement"
 	ClassUnchanged   = "unchanged"
+)
+
+// Gated metrics.
+const (
+	MetricTotal      = "total_s"
+	MetricOverlapped = "overlapped_s"
 )
 
 // DiffResult is the classified comparison of two sweeps.
@@ -38,11 +45,43 @@ type DiffResult struct {
 	// baseline refresh isn't silent.
 	OnlyInOld []string `json:"only_in_old,omitempty"`
 	OnlyInNew []string `json:"only_in_new,omitempty"`
+
+	// Metric-level coverage drift: IDs whose overlapped_s column is
+	// carried by only one side (a baseline predating the column, or a
+	// new sweep that dropped it). Classifying such a pair through the
+	// zero-baseline rule would spuriously gate every record — or,
+	// worse, silently skip the metric — so it is surfaced as drift
+	// instead (the bug the schema migration exposed).
+	OverlappedOnlyInOld []string `json:"overlapped_only_in_old,omitempty"`
+	OverlappedOnlyInNew []string `json:"overlapped_only_in_new,omitempty"`
 }
 
 // HasRegressions reports whether any latency regressed beyond the
 // threshold — the CI gate condition.
 func (d DiffResult) HasRegressions() bool { return len(d.Regressions) > 0 }
+
+// FilterMetric returns a copy of d keeping only deltas of one metric
+// (MetricTotal or MetricOverlapped) — how the CI sweep gate and the
+// overlap gate each gate their own column of the same diff. Unchanged
+// counts and coverage-drift lists are preserved as-is (they are not
+// per-delta). An empty metric keeps everything.
+func (d DiffResult) FilterMetric(metric string) DiffResult {
+	if metric == "" {
+		return d
+	}
+	keep := func(ds []Delta) []Delta {
+		var out []Delta
+		for _, dl := range ds {
+			if dl.Metric == metric {
+				out = append(out, dl)
+			}
+		}
+		return out
+	}
+	d.Regressions = keep(d.Regressions)
+	d.Improvements = keep(d.Improvements)
+	return d
+}
 
 // Summary renders a human-readable gate report.
 func (d DiffResult) Summary() string {
@@ -50,16 +89,22 @@ func (d DiffResult) Summary() string {
 	fmt.Fprintf(&b, "sweep diff @ threshold %.2f%%: %d regression(s), %d improvement(s), %d unchanged\n",
 		d.Threshold*100, len(d.Regressions), len(d.Improvements), d.Unchanged)
 	for _, r := range d.Regressions {
-		fmt.Fprintf(&b, "  REGRESSION  %-40s %.4g s → %.4g s (%+.2f%%)\n", r.ID, r.OldS, r.NewS, r.Rel*100)
+		fmt.Fprintf(&b, "  REGRESSION  %-40s %-12s %.4g s → %.4g s (%+.2f%%)\n", r.ID, r.Metric, r.OldS, r.NewS, r.Rel*100)
 	}
 	for _, r := range d.Improvements {
-		fmt.Fprintf(&b, "  improvement %-40s %.4g s → %.4g s (%+.2f%%)\n", r.ID, r.OldS, r.NewS, r.Rel*100)
+		fmt.Fprintf(&b, "  improvement %-40s %-12s %.4g s → %.4g s (%+.2f%%)\n", r.ID, r.Metric, r.OldS, r.NewS, r.Rel*100)
 	}
 	if len(d.OnlyInOld) > 0 {
 		fmt.Fprintf(&b, "  only in baseline: %v\n", d.OnlyInOld)
 	}
 	if len(d.OnlyInNew) > 0 {
 		fmt.Fprintf(&b, "  only in new sweep: %v\n", d.OnlyInNew)
+	}
+	if len(d.OverlappedOnlyInOld) > 0 {
+		fmt.Fprintf(&b, "  overlapped_s only in baseline: %v\n", d.OverlappedOnlyInOld)
+	}
+	if len(d.OverlappedOnlyInNew) > 0 {
+		fmt.Fprintf(&b, "  overlapped_s only in new sweep: %v\n", d.OverlappedOnlyInNew)
 	}
 	return b.String()
 }
@@ -89,15 +134,32 @@ func Classify(oldS, newS, threshold float64) (rel float64, class string) {
 }
 
 // Diff compares two sweeps record-by-record (matched on ID) and
-// classifies each total-latency change against the fractional
-// threshold (0.005 = 0.5%). Records appearing in only one sweep are
-// reported, not classified. Deltas preserve the new sweep's record
-// order, so the result is deterministic.
+// classifies each latency change against the fractional threshold
+// (0.005 = 0.5%). Both metrics are classified: total_s always, and
+// overlapped_s when both sides carry the column (a record whose
+// overlapped_s exists on only one side is metric-level coverage
+// drift — see DiffResult — never a zero-baseline regression or a
+// silent skip). Records appearing in only one sweep are reported, not
+// classified. Deltas preserve the new sweep's record order, so the
+// result is deterministic.
 func Diff(old, new []Record, threshold float64) DiffResult {
 	if threshold < 0 {
 		threshold = 0
 	}
 	d := DiffResult{Threshold: threshold}
+
+	classify := func(id, metric string, oldS, newS float64) {
+		rel, class := Classify(oldS, newS, threshold)
+		delta := Delta{ID: id, Metric: metric, OldS: oldS, NewS: newS, Rel: rel, Class: class}
+		switch class {
+		case ClassRegression:
+			d.Regressions = append(d.Regressions, delta)
+		case ClassImprovement:
+			d.Improvements = append(d.Improvements, delta)
+		default:
+			d.Unchanged++
+		}
+	}
 
 	oldByID := make(map[string]Record, len(old))
 	for _, r := range old {
@@ -111,15 +173,16 @@ func Diff(old, new []Record, threshold float64) DiffResult {
 			d.OnlyInNew = append(d.OnlyInNew, r.ID)
 			continue
 		}
-		rel, class := Classify(o.TotalS, r.TotalS, threshold)
-		delta := Delta{ID: r.ID, OldS: o.TotalS, NewS: r.TotalS, Rel: rel, Class: class}
-		switch class {
-		case ClassRegression:
-			d.Regressions = append(d.Regressions, delta)
-		case ClassImprovement:
-			d.Improvements = append(d.Improvements, delta)
+		classify(r.ID, MetricTotal, o.TotalS, r.TotalS)
+		switch {
+		case o.OverlappedS == 0 && r.OverlappedS == 0:
+			// Neither side carries the column — nothing to compare.
+		case o.OverlappedS == 0:
+			d.OverlappedOnlyInNew = append(d.OverlappedOnlyInNew, r.ID)
+		case r.OverlappedS == 0:
+			d.OverlappedOnlyInOld = append(d.OverlappedOnlyInOld, r.ID)
 		default:
-			d.Unchanged++
+			classify(r.ID, MetricOverlapped, o.OverlappedS, r.OverlappedS)
 		}
 	}
 	for _, r := range old {

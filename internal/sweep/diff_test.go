@@ -166,7 +166,87 @@ func TestDiffRealSweepSelfCompare(t *testing.T) {
 	if d.HasRegressions() || len(d.Improvements) != 0 || len(d.OnlyInOld) != 0 || len(d.OnlyInNew) != 0 {
 		t.Errorf("self-compare not clean: %s", d.Summary())
 	}
-	if d.Unchanged != len(recs) {
-		t.Errorf("unchanged = %d, want %d", d.Unchanged, len(recs))
+	if len(d.OverlappedOnlyInOld) != 0 || len(d.OverlappedOnlyInNew) != 0 {
+		t.Errorf("self-compare reports overlapped coverage drift: %s", d.Summary())
+	}
+	// Every real record carries both metrics, so each contributes two
+	// unchanged comparisons (total_s and overlapped_s).
+	if d.Unchanged != 2*len(recs) {
+		t.Errorf("unchanged = %d, want %d", d.Unchanged, 2*len(recs))
+	}
+}
+
+// TestDiffOverlappedClassified: the overlapped_s column gates like
+// total_s — a +1% overlapped regression with an unchanged total is
+// still a gate failure, tagged with its metric.
+func TestDiffOverlappedClassified(t *testing.T) {
+	old := []Record{{ID: "x", TotalS: 100e-6, OverlappedS: 80e-6}}
+	newer := []Record{{ID: "x", TotalS: 100e-6, OverlappedS: 80.8e-6}}
+	d := Diff(old, newer, 0.005)
+	if !d.HasRegressions() {
+		t.Fatal("+1% overlapped_s not flagged as regression")
+	}
+	if len(d.Regressions) != 1 || d.Regressions[0].Metric != MetricOverlapped {
+		t.Errorf("regressions = %+v, want exactly one overlapped_s delta", d.Regressions)
+	}
+	if d.Unchanged != 1 { // the total_s comparison
+		t.Errorf("unchanged = %d, want 1", d.Unchanged)
+	}
+}
+
+// TestDiffOverlappedSchemaMigration pins the coverage-drift bugfix: a
+// baseline predating the overlapped_s column (OverlappedS == 0) must
+// neither spuriously gate every record through the zero-baseline
+// regression rule nor silently skip the metric — it is surfaced as
+// metric-level coverage drift. Symmetrically for a new sweep that
+// dropped the column.
+func TestDiffOverlappedSchemaMigration(t *testing.T) {
+	// Old baseline without the column vs new sweep with it.
+	old := []Record{{ID: "x", TotalS: 100e-6}}
+	newer := []Record{{ID: "x", TotalS: 100e-6, OverlappedS: 80e-6}}
+	d := Diff(old, newer, 0.005)
+	if d.HasRegressions() {
+		t.Errorf("missing baseline column gated as regression: %s", d.Summary())
+	}
+	if len(d.OverlappedOnlyInNew) != 1 || d.OverlappedOnlyInNew[0] != "x" {
+		t.Errorf("OverlappedOnlyInNew = %v, want [x]", d.OverlappedOnlyInNew)
+	}
+
+	// New sweep that hollowed the column out: must not classify 80µs→0
+	// as an improvement.
+	d = Diff(newer, old, 0.005)
+	if len(d.Improvements) != 0 {
+		t.Errorf("hollowed-out overlapped column classified as improvement: %+v", d.Improvements)
+	}
+	if len(d.OverlappedOnlyInOld) != 1 || d.OverlappedOnlyInOld[0] != "x" {
+		t.Errorf("OverlappedOnlyInOld = %v, want [x]", d.OverlappedOnlyInOld)
+	}
+
+	// Neither side carries the column: nothing to compare, no drift.
+	d = Diff([]Record{rec("x", 1)}, []Record{rec("x", 1)}, 0.005)
+	if len(d.OverlappedOnlyInOld) != 0 || len(d.OverlappedOnlyInNew) != 0 {
+		t.Errorf("column-free records report overlapped drift: %s", d.Summary())
+	}
+	if d.Unchanged != 1 {
+		t.Errorf("unchanged = %d, want 1", d.Unchanged)
+	}
+}
+
+// TestDiffFilterMetric: each CI gate sees only its own metric's deltas.
+func TestDiffFilterMetric(t *testing.T) {
+	old := []Record{{ID: "x", TotalS: 100e-6, OverlappedS: 80e-6}}
+	newer := []Record{{ID: "x", TotalS: 102e-6, OverlappedS: 81e-6}}
+	d := Diff(old, newer, 0.005)
+	if len(d.Regressions) != 2 {
+		t.Fatalf("regressions = %+v, want one per metric", d.Regressions)
+	}
+	for _, metric := range []string{MetricTotal, MetricOverlapped} {
+		f := d.FilterMetric(metric)
+		if len(f.Regressions) != 1 || f.Regressions[0].Metric != metric {
+			t.Errorf("FilterMetric(%q) = %+v", metric, f.Regressions)
+		}
+	}
+	if f := d.FilterMetric(""); len(f.Regressions) != 2 {
+		t.Errorf("FilterMetric(\"\") dropped deltas: %+v", f.Regressions)
 	}
 }

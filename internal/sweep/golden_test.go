@@ -1,0 +1,65 @@
+package sweep
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestGoldenSerialEquivalence is the refactor's safety net: the full
+// 400-case sweep (SetA–D × all 4 TPU specs × {1,2,4,8,16} cores × all
+// 5 workloads) re-lowered through the DAG-building Schedule IR must
+// reproduce the committed BENCH_baseline.json serial totals bit for
+// bit — Schedule.SerialTotal is the pre-refactor additive model,
+// untouched by the overlap engine. Collective shares and kernel
+// tallies are held to the same standard, and the overlapped column is
+// sanity-bounded against its own baseline value.
+func TestGoldenSerialEquivalence(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_baseline.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	var baseline []Record
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		t.Fatalf("parsing committed baseline: %v", err)
+	}
+	if len(baseline) != 400 {
+		t.Fatalf("baseline has %d records, want the full 400-case cross-product", len(baseline))
+	}
+
+	recs, err := Run(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(baseline) {
+		t.Fatalf("fresh sweep has %d records, baseline %d", len(recs), len(baseline))
+	}
+
+	byID := make(map[string]Record, len(recs))
+	for _, r := range recs {
+		byID[r.ID] = r
+	}
+	for _, want := range baseline {
+		got, ok := byID[want.ID]
+		if !ok {
+			t.Errorf("%s: in baseline but not in fresh sweep", want.ID)
+			continue
+		}
+		if got.TotalS != want.TotalS {
+			t.Errorf("%s: SerialTotal %.17g != baseline total_s %.17g (must be bit-identical)",
+				want.ID, got.TotalS, want.TotalS)
+		}
+		if got.CollectiveS != want.CollectiveS {
+			t.Errorf("%s: collective_s %.17g != baseline %.17g", want.ID, got.CollectiveS, want.CollectiveS)
+		}
+		if got.Kernels != want.Kernels {
+			t.Errorf("%s: kernel counts %+v != baseline %+v", want.ID, got.Kernels, want.Kernels)
+		}
+		if got.OverlappedS != want.OverlappedS {
+			t.Errorf("%s: overlapped_s %.17g != baseline %.17g", want.ID, got.OverlappedS, want.OverlappedS)
+		}
+		if got.OverlappedS <= 0 || got.OverlappedS > got.TotalS {
+			t.Errorf("%s: overlapped_s %g outside (0, total_s=%g]", want.ID, got.OverlappedS, got.TotalS)
+		}
+	}
+}

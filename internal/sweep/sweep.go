@@ -90,7 +90,8 @@ type Record struct {
 	Cores       int                `json:"cores"`         // pod size
 	Params      string             `json:"params"`        // parameter-set name
 	Workload    string             `json:"workload"`      // workload name
-	TotalS      float64            `json:"total_s"`       // end-to-end modeled latency
+	TotalS      float64            `json:"total_s"`       // end-to-end modeled latency (serial model)
+	OverlappedS float64            `json:"overlapped_s"`  // overlap-aware latency (DAG makespan, ≤ total_s)
 	CollectiveS float64            `json:"collective_s"`  // ICI share of TotalS
 	Kernels     cross.KernelCounts `json:"kernel_counts"` // launch tallies
 }
@@ -174,6 +175,7 @@ func runCase(c swcase, cache *cross.ScheduleCache) (Record, error) {
 		Params:      "Set" + c.set,
 		Workload:    c.wl,
 		TotalS:      s.Total,
+		OverlappedS: s.Overlapped,
 		CollectiveS: s.Collective,
 		Kernels:     s.Kernels,
 	}, nil

@@ -21,12 +21,18 @@ func marshal(t *testing.T, v any) []byte {
 // TestParallelSweepBitIdentical is the engine's core guarantee: the
 // JSON of a parallel sweep byte-equals the serial sweep. Table-driven
 // over widths so a scheduling-order dependence at any parallelism
-// fails loudly.
+// fails loudly. The record JSON includes overlapped_s, so this also
+// pins the DAG engine's determinism at every parallelism.
 func TestParallelSweepBitIdentical(t *testing.T) {
 	base := Config{Parallel: 1}
 	serial, err := Run(base)
 	if err != nil {
 		t.Fatal(err)
+	}
+	for _, r := range serial {
+		if r.OverlappedS <= 0 {
+			t.Fatalf("%s: overlapped_s = %g — byte-identity would vacuously cover the column", r.ID, r.OverlappedS)
+		}
 	}
 	want := marshal(t, serial)
 
@@ -66,6 +72,9 @@ func TestSweepShape(t *testing.T) {
 	for _, r := range recs {
 		if r.TotalS <= 0 {
 			t.Errorf("%s: non-positive latency %g", r.ID, r.TotalS)
+		}
+		if r.OverlappedS <= 0 || r.OverlappedS > r.TotalS {
+			t.Errorf("%s: overlapped %g outside (0, total=%g]", r.ID, r.OverlappedS, r.TotalS)
 		}
 		if r.CollectiveS < 0 || r.CollectiveS > r.TotalS {
 			t.Errorf("%s: collective %g outside [0, total=%g]", r.ID, r.CollectiveS, r.TotalS)

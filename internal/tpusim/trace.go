@@ -24,8 +24,9 @@ const (
 // Trace accumulates simulated time per category — the reproduction's
 // stand-in for the XLA profiler's trace viewer (§V-A methodology).
 type Trace struct {
-	seconds map[string]float64
-	order   []string
+	seconds  map[string]float64
+	order    []string
+	observer func(category string, seconds float64)
 }
 
 // NewTrace returns an empty trace.
@@ -33,8 +34,22 @@ func NewTrace() *Trace {
 	return &Trace{seconds: make(map[string]float64)}
 }
 
+// Observe installs f as the trace's segment observer: every subsequent
+// Add is reported to f in charge order, before the category total
+// updates. This is the hook the compiler's DAG builder uses to turn a
+// lowering's additive charge stream into dependency-DAG nodes; pass nil
+// to detach. A trace has at most one observer and is not synchronised —
+// observation is only meaningful while the trace is charged from a
+// single goroutine (which Compiler.LowerOp guarantees).
+func (t *Trace) Observe(f func(category string, seconds float64)) {
+	t.observer = f
+}
+
 // Add charges d seconds to a category.
 func (t *Trace) Add(category string, d float64) {
+	if t.observer != nil {
+		t.observer(category, d)
+	}
 	if _, ok := t.seconds[category]; !ok {
 		t.order = append(t.order, category)
 	}
