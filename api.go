@@ -12,9 +12,11 @@
 //     (encode → encrypt → evaluate → decrypt), running bit-exactly on
 //     the CPU.
 //   - Compiler layer: Compile(target, params) returns a Compiler for
-//     any Target — a simulated tensor core (Device) or a multi-core
-//     slice (Pod); both satisfy the same interface and share one
-//     lowering code path. Kernel lowerings produce Schedule values:
+//     any Target — a simulated TPU tensor core (Device), a multi-core
+//     slice (Pod), a GPU (GPUDevice) or an NVLink node (GPUNode); all
+//     satisfy the same interface and share one lowering code path, and
+//     the device registry (TargetByName) instantiates any of them from
+//     a name + core count. Kernel lowerings produce Schedule values:
 //     structured artifacts carrying total latency, the per-category
 //     breakdown, kernel-invocation counts, and shard/collective
 //     metadata — plus the overlap-aware latency pair: every lowering
@@ -55,6 +57,7 @@ import (
 	"cross/internal/bat"
 	"cross/internal/ckks"
 	icross "cross/internal/cross"
+	"cross/internal/gpusim"
 	"cross/internal/harness"
 	"cross/internal/hostbench"
 	"cross/internal/mat"
@@ -203,6 +206,54 @@ func NewPod(spec DeviceSpec, cores int) (*Pod, error) { return tpusim.NewPod(spe
 func NewShardedCompiler(pod *Pod, p Params) (*ShardedCompiler, error) {
 	return icross.NewSharded(pod, p)
 }
+
+// ---- GPU backend & device registry ----
+
+// GPUSpec describes a GPU part (A100/H100 class): native figures —
+// SMs, tensor/CUDA-core throughput, HBM/L2/SMEM bandwidths, NVLink —
+// that project onto the same roofline the TPU backend prices.
+type GPUSpec = gpusim.Spec
+
+// GPUDevice is one simulated GPU (the 1-core degenerate Target).
+type GPUDevice = gpusim.Device
+
+// GPUNode is N GPUs joined by NVLink (ring) or NVSwitch (all-to-all),
+// with topology-aware collective cost models.
+type GPUNode = gpusim.Node
+
+// GPUTopology selects the node interconnect (ring vs NVSwitch).
+type GPUTopology = gpusim.Topology
+
+// GPU part specs.
+var (
+	A100_40GB = gpusim.A100_40GB
+	A100_80GB = gpusim.A100_80GB
+	H100      = gpusim.H100
+)
+
+// NewGPUDevice instantiates one simulated GPU.
+func NewGPUDevice(spec GPUSpec) *GPUDevice { return gpusim.NewDevice(spec) }
+
+// NewGPUNode instantiates an n-GPU node of one part.
+func NewGPUNode(spec GPUSpec, gpus int) (*GPUNode, error) { return gpusim.NewNode(spec, gpus) }
+
+// TargetInfo is one device-registry entry: a part name, its hardware
+// family ("tpu", "gpu"), its representative scale-out degree, and a
+// factory from core count to Target.
+type TargetInfo = icross.TargetInfo
+
+// RegisteredTargets lists every registered device in registration
+// order (TPU generations first, then GPU parts).
+func RegisteredTargets() []TargetInfo { return icross.RegisteredTargets() }
+
+// TargetByName instantiates a registered device at a core count —
+// TargetByName("H100", 8) prices an 8-GPU NVSwitch node exactly like
+// TargetByName("TPUv6e", 8) prices an 8-core pod.
+func TargetByName(name string, cores int) (Target, error) { return icross.TargetByName(name, cores) }
+
+// TargetNames renders the registered device names for error messages
+// and CLI help.
+func TargetNames() string { return icross.TargetNames() }
 
 // ---- HE layer ----
 

@@ -169,8 +169,8 @@ func TestPodFacade(t *testing.T) {
 
 func TestExperimentFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(ids))
+	if len(ids) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(ids))
 	}
 	exp, err := ExperimentByID("Table V")
 	if err != nil {
@@ -335,5 +335,50 @@ func TestServeFacade(t *testing.T) {
 	}
 	if _, err := Serve(ServeConfig{Policy: "teleport"}); err == nil {
 		t.Error("unknown policy accepted")
+	}
+}
+
+func TestGPUBackendFacade(t *testing.T) {
+	// Registry: any registered name instantiates through one call.
+	if !strings.Contains(TargetNames(), "H100") || !strings.Contains(TargetNames(), "TPUv6e") {
+		t.Fatalf("TargetNames() missing devices: %s", TargetNames())
+	}
+	if got := len(RegisteredTargets()); got != 7 {
+		t.Fatalf("expected 7 registered devices (4 TPU + 3 GPU), got %d", got)
+	}
+	tgt, err := TargetByName("H100", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Compile(tgt, SetD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := comp.LowerHEMult()
+	if s.Total <= 0 || s.Collective <= 0 || s.OverlappedTotal() > s.Total {
+		t.Errorf("GPU node schedule degenerate: %+v", s)
+	}
+	if _, err := TargetByName("Hopper", 8); err == nil {
+		t.Error("unknown device accepted")
+	}
+
+	// Direct constructors match the registry path.
+	node, err := NewGPUNode(H100(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp2, err := Compile(node, SetD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := comp2.LowerHEMult().Total; got != s.Total {
+		t.Errorf("NewGPUNode lowering %g != registry lowering %g", got, s.Total)
+	}
+	dcomp, err := Compile(NewGPUDevice(A100_40GB()), SetB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := dcomp.LowerHEMult(); ds.Total <= 0 || ds.Collective != 0 {
+		t.Errorf("single GPU schedule degenerate: %+v", ds)
 	}
 }

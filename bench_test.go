@@ -19,6 +19,7 @@ import (
 	"cross"
 	"cross/internal/bat"
 	icross "cross/internal/cross"
+	"cross/internal/gpusim"
 	"cross/internal/modarith"
 	"cross/internal/ring"
 	"cross/internal/tpusim"
@@ -527,6 +528,24 @@ func BenchmarkPodSchedule(b *testing.B) {
 	}
 	b.ReportMetric(s.Total*1e6, "sim_mult_us")
 	b.ReportMetric(s.Collective*1e6, "sim_ici_us")
+}
+
+// BenchmarkGPUNodeSchedule times GPU-node lowering through the same
+// unified Compile path: an 8-GPU H100 NVSwitch node next to
+// BenchmarkPodSchedule's 4-core pod, the cross-hardware smoke pair.
+func BenchmarkGPUNodeSchedule(b *testing.B) {
+	b.ReportAllocs()
+	node := gpusim.MustNode(gpusim.H100(), 8)
+	c, err := icross.Compile(node, icross.SetD())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s *icross.Schedule
+	for i := 0; i < b.N; i++ {
+		s = c.LowerHEMult()
+	}
+	b.ReportMetric(s.Total*1e6, "sim_mult_us")
+	b.ReportMetric(s.Collective*1e6, "sim_nvlink_us")
 }
 
 // BenchmarkParallelNTT times the host-side limb-parallel NTT worker

@@ -1,17 +1,23 @@
 // Command crossbench regenerates the paper's evaluation section: every
 // table and figure of §V, with paper-reported values printed next to
 // the reproduction's measurements. It is also the repo's perf oracle:
-// -sweep lowers the full {param set × TPU spec × pod size × workload}
-// cross-product in parallel, and -compare diffs a fresh sweep against a
+// -sweep lowers the full {param set × device × core count × workload}
+// cross-product — every registered device, TPU generations and GPU
+// parts alike — in parallel, and -compare diffs a fresh sweep against a
 // committed baseline, exiting non-zero on regression (the CI gate).
+// -versus prices named targets ("TPUv6e-16,H100-8") head-to-head on
+// every workload: the cross-hardware comparison.
 //
 // Usage:
 //
 //	crossbench                 # run everything (paper order)
 //	crossbench -list           # list experiment identifiers
 //	crossbench -experiment id  # run one experiment ("Table V", "fig11b", …)
-//	crossbench -scaling        # pod core-count scaling sweep (1/2/4/8 cores)
-//	crossbench -scaling -device TPUv5p
+//	crossbench -scaling        # core-count scaling sweep (1/2/4/8 cores)
+//	crossbench -scaling -device TPUv5p        # any registered device (TPU or GPU)
+//	crossbench -versus TPUv6e-16,H100-8 -set D        # cross-hardware head-to-head
+//	crossbench -versus TPUv6e-16,H100-8 -set D -json  # machine-readable comparison
+//	crossbench -versus A100-80GB-8,H100-8 -out versus.json
 //	crossbench -sweep -parallel 8 -json       # full sweep, machine-readable
 //	crossbench -compare BENCH_baseline.json   # fresh sweep vs baseline; exit 1 on regression
 //	crossbench -compare BENCH_baseline.json -threshold 0.01
@@ -47,7 +53,6 @@ import (
 
 	"cross"
 	"cross/internal/harness"
-	"cross/internal/tpusim"
 )
 
 func emitJSON(v any) {
@@ -189,8 +194,9 @@ func runServe(cfg cross.ServeConfig, out string, asJSON bool) {
 func main() {
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
 	experiment := flag.String("experiment", "", "run a single experiment by identifier")
-	scaling := flag.Bool("scaling", false, "run only the pod core-count scaling sweep")
-	device := flag.String("device", "TPUv6e", "TPU generation for -scaling (TPUv4, TPUv5e, TPUv5p, TPUv6e)")
+	scaling := flag.Bool("scaling", false, "run only the core-count scaling sweep")
+	device := flag.String("device", "TPUv6e", "device for -scaling and -serve ("+cross.TargetNames()+")")
+	versus := flag.String("versus", "", `cross-hardware comparison: comma-separated targets ("TPUv6e-16,H100-8"), priced on every workload`)
 	sweepMode := flag.Bool("sweep", false, "run the full cross-product perf sweep")
 	hostbenchMode := flag.Bool("hostbench", false, "measure host kernels (real ns/op + allocs/op); with -compare, diff against a BENCH_host.json baseline")
 	serveMode := flag.Bool("serve", false, "run the discrete-event serving simulator")
@@ -203,7 +209,7 @@ func main() {
 	batch := flag.Int("batch", 0, "serve: max batch size per launch (default 8; 1 disables batching)")
 	delay := flag.Float64("delay", 0, "serve: max queue delay in seconds an idle pod holds a non-full batch (default 0)")
 	mix := flag.String("mix", "", `serve: workload mix as "HE-Mult=0.6,Rotate=0.3,MNIST=0.1" (default mixed operator+MNIST traffic)`)
-	set := flag.String("set", "", `serve: parameter-set letter A-D (default "B")`)
+	set := flag.String("set", "", `parameter-set letter A-D for -serve (default "B") and -versus (default "D")`)
 	overlap := flag.Bool("overlap", false, "serve: price service times at the overlap-aware OverlappedTotal instead of the serial total")
 	compare := flag.String("compare", "", "run a fresh sweep (or host benchmark with -hostbench) and diff it against a baseline JSON file; exit 1 on regression")
 	metric := flag.String("metric", "all", "sweep -compare: gate on one latency column — total, overlapped, or all")
@@ -213,7 +219,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of formatted tables")
 	flag.Parse()
 
-	deviceSet, thresholdSet, parallelSet, outSet, metricSet := false, false, false, false, false
+	deviceSet, thresholdSet, parallelSet, outSet, metricSet, setSet := false, false, false, false, false, false
 	serveFlagSet := ""
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -227,24 +233,30 @@ func main() {
 			outSet = true
 		case "metric":
 			metricSet = true
-		case "rate", "pods", "cores", "policy", "seed", "horizon", "batch", "delay", "mix", "set", "overlap":
+		case "set":
+			setSet = true
+		case "rate", "pods", "cores", "policy", "seed", "horizon", "batch", "delay", "mix", "overlap":
 			serveFlagSet = f.Name
 		}
 	})
 	// -hostbench pairs with -compare (the wall-clock gate); every other
 	// top-level mode is mutually exclusive.
 	exclusive := 0
-	for _, on := range []bool{*scaling, *sweepMode, *hostbenchMode, *serveMode, *compare != "" && !*hostbenchMode, *list, *experiment != ""} {
+	for _, on := range []bool{*scaling, *sweepMode, *hostbenchMode, *serveMode, *compare != "" && !*hostbenchMode, *list, *experiment != "", *versus != ""} {
 		if on {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		fmt.Fprintln(os.Stderr, "crossbench: -scaling, -sweep, -hostbench, -serve, -compare, -list and -experiment are mutually exclusive (except -hostbench -compare)")
+		fmt.Fprintln(os.Stderr, "crossbench: -scaling, -sweep, -hostbench, -serve, -compare, -versus, -list and -experiment are mutually exclusive (except -hostbench -compare)")
 		os.Exit(1)
 	}
 	if deviceSet && !*scaling && !*serveMode {
 		fmt.Fprintln(os.Stderr, "crossbench: -device only applies to -scaling and -serve")
+		os.Exit(1)
+	}
+	if setSet && !*serveMode && *versus == "" {
+		fmt.Fprintln(os.Stderr, "crossbench: -set only applies to -serve and -versus")
 		os.Exit(1)
 	}
 	if thresholdSet && *compare == "" {
@@ -255,8 +267,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "crossbench: -parallel only applies to -sweep, -serve and sweep -compare")
 		os.Exit(1)
 	}
-	if outSet && !*sweepMode && !*hostbenchMode && !*serveMode && *compare == "" {
-		fmt.Fprintln(os.Stderr, "crossbench: -out only applies to -sweep, -hostbench, -serve and -compare")
+	if outSet && !*sweepMode && !*hostbenchMode && !*serveMode && *compare == "" && *versus == "" {
+		fmt.Fprintln(os.Stderr, "crossbench: -out only applies to -sweep, -hostbench, -serve, -compare and -versus")
 		os.Exit(1)
 	}
 	if serveFlagSet != "" && !*serveMode {
@@ -361,13 +373,40 @@ func main() {
 		return
 	}
 
-	if *scaling {
-		spec, ok := tpusim.SpecByName(*device)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "crossbench: unknown device %q\n", *device)
+	if *versus != "" {
+		targets := strings.Split(*versus, ",")
+		for i := range targets {
+			targets[i] = strings.TrimSpace(targets[i])
+		}
+		vset := *set
+		if vset == "" {
+			vset = "D"
+		}
+		v, err := harness.Versus(targets, vset)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crossbench:", err)
 			os.Exit(1)
 		}
-		r := harness.CoreScalingOn(spec)
+		if *out != "" {
+			if err := writeJSON(*out, v); err != nil {
+				fmt.Fprintln(os.Stderr, "crossbench:", err)
+				os.Exit(1)
+			}
+		}
+		if *asJSON {
+			emitJSON(v)
+			return
+		}
+		fmt.Println(v.Report().String())
+		return
+	}
+
+	if *scaling {
+		r, err := harness.CoreScalingOn(*device)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crossbench:", err)
+			os.Exit(1)
+		}
 		if *asJSON {
 			emitJSON(r)
 			return

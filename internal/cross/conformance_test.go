@@ -1,0 +1,23 @@
+package cross_test
+
+import (
+	"testing"
+
+	"cross/internal/cross"
+	"cross/internal/cross/crosstest"
+	"cross/internal/tpusim"
+)
+
+// TestTargetConformanceTPU runs the shared Target conformance suite
+// against the TPU backend — the same suite gpusim (and any third
+// backend) runs, so the contract cannot drift per backend.
+func TestTargetConformanceTPU(t *testing.T) {
+	for _, spec := range tpusim.AllSpecs() {
+		spec := spec
+		crosstest.Conformance(t, crosstest.Backend{
+			Name:      "tpusim/" + spec.Name,
+			NewDevice: func() cross.Target { return tpusim.NewDevice(spec) },
+			NewNode:   func(cores int) cross.Target { return tpusim.MustPod(spec, cores) },
+		})
+	}
+}

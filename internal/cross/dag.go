@@ -26,7 +26,8 @@ const (
 	SegVMEM
 	// SegHBM is off-chip operand streaming (double-buffered limbs).
 	SegHBM
-	// SegICI is an interconnect collective on the pod's ICI links.
+	// SegICI is an interconnect collective on the target's fabric —
+	// the pod's ICI links or a GPU node's NVLink.
 	SegICI
 )
 
@@ -100,7 +101,7 @@ func (d *SegDAG) SerialSum() float64 {
 // inter-kernel relayout runs on the core's functional units.
 func segKindOf(category string) SegKind {
 	switch category {
-	case tpusim.CatICI:
+	case tpusim.CatICI, tpusim.CatNVLink:
 		return SegICI
 	case tpusim.CatHBM:
 		return SegHBM

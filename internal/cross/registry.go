@@ -1,0 +1,139 @@
+package cross
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"cross/internal/tpusim"
+)
+
+// TargetInfo describes one registered device family member: a hardware
+// part every layer above the simulators (sweep, serve, harness, the
+// CLI) can instantiate by name without importing its backend package.
+// Backends register at init time; the registry is the single source of
+// the valid-device list, so help text, error messages and Fig. 12 core
+// counts cannot drift as backends are added.
+type TargetInfo struct {
+	// Name is the part name users type ("TPUv6e", "H100").
+	Name string
+
+	// Family groups parts by backend ("tpu", "gpu") for reports that
+	// compare across hardware classes.
+	Family string
+
+	// RepCores is the part's representative scale-out degree: the
+	// paper's Tab. IV VM core count for TPUs, the standard DGX/HGX node
+	// size for GPUs. Used when a table needs "the" multi-core
+	// configuration of a part.
+	RepCores int
+
+	// New builds the part at the given core (chip/GPU) count. cores=1
+	// must yield the degenerate single-core target whose collectives
+	// are free.
+	New func(cores int) (Target, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   []TargetInfo
+)
+
+// RegisterTarget adds a part to the registry. Backends call it from
+// init(); registering a duplicate name or an invalid entry panics,
+// because it is a programming error no caller could recover from.
+func RegisterTarget(info TargetInfo) {
+	if info.Name == "" || info.New == nil || info.RepCores < 1 {
+		panic(fmt.Sprintf("cross: invalid target registration %+v", info))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	for _, have := range registry {
+		if have.Name == info.Name {
+			panic(fmt.Sprintf("cross: target %q registered twice", info.Name))
+		}
+	}
+	registry = append(registry, info)
+}
+
+// RegisteredTargets returns the registry in registration order (TPUs
+// first — the paper's Tab. IV order — then each extra backend in its
+// own declaration order). The slice is a copy; mutating it is safe.
+func RegisteredTargets() []TargetInfo {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return append([]TargetInfo(nil), registry...)
+}
+
+// TargetInfoByName resolves a registered part by name.
+func TargetInfoByName(name string) (TargetInfo, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	for _, info := range registry {
+		if info.Name == name {
+			return info, true
+		}
+	}
+	return TargetInfo{}, false
+}
+
+// TargetByName instantiates a registered part at the given core count.
+// Unknown names report the full valid-device list, so every caller's
+// error message stays in sync with the registry.
+func TargetByName(name string, cores int) (Target, error) {
+	info, ok := TargetInfoByName(name)
+	if !ok {
+		return nil, fmt.Errorf("cross: unknown device %q (valid: %s)", name, TargetNames())
+	}
+	return info.New(cores)
+}
+
+// TargetNames renders the registered part names as a comma-separated
+// list in registration order — the one string help text and error
+// messages should embed.
+func TargetNames() string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, len(registry))
+	for i, info := range registry {
+		names[i] = info.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// FamilyNames returns the distinct registered families, sorted.
+func FamilyNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	seen := make(map[string]bool)
+	var out []string
+	for _, info := range registry {
+		if !seen[info.Family] {
+			seen[info.Family] = true
+			out = append(out, info.Family)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// The TPU backend registers here rather than in tpusim because tpusim
+// cannot import cross (cross imports tpusim). Representative core
+// counts are the paper's Tab. IV VM setups (v4-8, v5litepod-4, v5p-8,
+// v6e-8). The factory is exactly `tpusim.NewPod(spec, cores)` — the
+// construction sweep and serve used before the registry existed — so
+// registry-built targets reproduce the committed baseline bit for bit.
+func init() {
+	for _, vm := range tpusim.AllVMs() {
+		spec := vm.Spec
+		RegisterTarget(TargetInfo{
+			Name:     spec.Name,
+			Family:   "tpu",
+			RepCores: vm.Cores,
+			New: func(cores int) (Target, error) {
+				return tpusim.NewPod(spec, cores)
+			},
+		})
+	}
+}

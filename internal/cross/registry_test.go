@@ -1,0 +1,133 @@
+package cross
+
+import (
+	"strings"
+	"testing"
+
+	"cross/internal/tpusim"
+)
+
+// TestRegistryTPUEntries checks the TPU backend's self-registration:
+// all four Tab. IV parts are present, in the paper's order, with the
+// paper's VM core counts as representative scale.
+func TestRegistryTPUEntries(t *testing.T) {
+	infos := RegisteredTargets()
+	vms := tpusim.AllVMs()
+	if len(infos) < len(vms) {
+		t.Fatalf("registry has %d entries, want at least the %d TPU parts", len(infos), len(vms))
+	}
+	for i, vm := range vms {
+		info := infos[i]
+		if info.Name != vm.Spec.Name {
+			t.Errorf("registry[%d] = %q, want %q (paper order)", i, info.Name, vm.Spec.Name)
+		}
+		if info.Family != "tpu" {
+			t.Errorf("%s: family %q, want tpu", info.Name, info.Family)
+		}
+		if info.RepCores != vm.Cores {
+			t.Errorf("%s: RepCores %d, want the Tab. IV VM core count %d", info.Name, info.RepCores, vm.Cores)
+		}
+	}
+}
+
+// TestRegistryContract checks every registered part — whatever backend
+// it came from — honours the registry contract: valid metadata, a
+// working factory at 1 and RepCores, a 1-core target with free
+// collectives, and a name match between entry and instance.
+func TestRegistryContract(t *testing.T) {
+	for _, info := range RegisteredTargets() {
+		if info.RepCores < 1 {
+			t.Errorf("%s: RepCores %d, want >= 1", info.Name, info.RepCores)
+		}
+		if info.Family == "" {
+			t.Errorf("%s: empty family", info.Name)
+		}
+
+		single, err := info.New(1)
+		if err != nil {
+			t.Errorf("%s: New(1): %v", info.Name, err)
+			continue
+		}
+		if single.NumCores() != 1 {
+			t.Errorf("%s: New(1).NumCores() = %d", info.Name, single.NumCores())
+		}
+		if got := single.AllReduce(1 << 20); got != 0 {
+			t.Errorf("%s: 1-core AllReduce = %g, want free", info.Name, got)
+		}
+
+		rep, err := info.New(info.RepCores)
+		if err != nil {
+			t.Errorf("%s: New(RepCores=%d): %v", info.Name, info.RepCores, err)
+			continue
+		}
+		if rep.NumCores() != info.RepCores {
+			t.Errorf("%s: New(%d).NumCores() = %d", info.Name, info.RepCores, rep.NumCores())
+		}
+		if !strings.HasPrefix(rep.Name(), info.Name) {
+			t.Errorf("%s: representative target named %q, want the part name as prefix", info.Name, rep.Name())
+		}
+	}
+}
+
+// TestTargetByName covers the lookup face and its registry-derived
+// error message.
+func TestTargetByName(t *testing.T) {
+	tgt, err := TargetByName("TPUv6e", 16)
+	if err != nil {
+		t.Fatalf("TargetByName(TPUv6e, 16): %v", err)
+	}
+	if tgt.Name() != "TPUv6e-16" || tgt.NumCores() != 16 {
+		t.Errorf("got %q with %d cores", tgt.Name(), tgt.NumCores())
+	}
+
+	_, err = TargetByName("TPUv9", 4)
+	if err == nil {
+		t.Fatal("unknown device should fail")
+	}
+	if !strings.Contains(err.Error(), "TPUv4") || !strings.Contains(err.Error(), TargetNames()) {
+		t.Errorf("error %q should embed the registry-derived valid-device list %q", err, TargetNames())
+	}
+}
+
+// TestTargetByNameMatchesDirectConstruction is the bit-identity
+// anchor: a registry-built TPU pod must be constructed exactly as
+// sweep/serve built pods before the registry existed.
+func TestTargetByNameMatchesDirectConstruction(t *testing.T) {
+	viaRegistry, err := TargetByName("TPUv5p", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := tpusim.MustPod(tpusim.TPUv5p(), 8)
+	p := SetB()
+	a, err := Compile(viaRegistry, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(direct, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.LowerHEMult(), b.LowerHEMult()
+	if sa.Total != sb.Total || sa.Overlapped != sb.Overlapped || sa.Collective != sb.Collective {
+		t.Errorf("registry pod prices (%.17g, %.17g, %.17g), direct pod (%.17g, %.17g, %.17g) — must be bit-identical",
+			sa.Total, sa.Overlapped, sa.Collective, sb.Total, sb.Overlapped, sb.Collective)
+	}
+}
+
+// TestRegisterTargetRejectsInvalid covers the panicking guard paths.
+func TestRegisterTargetRejectsInvalid(t *testing.T) {
+	mustPanic := func(name string, info TargetInfo) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: RegisterTarget should panic", name)
+			}
+		}()
+		RegisterTarget(info)
+	}
+	valid := func(cores int) (Target, error) { return tpusim.NewPod(tpusim.TPUv4(), cores) }
+	mustPanic("empty name", TargetInfo{Family: "tpu", RepCores: 8, New: valid})
+	mustPanic("nil factory", TargetInfo{Name: "X", Family: "tpu", RepCores: 8})
+	mustPanic("zero RepCores", TargetInfo{Name: "X", Family: "tpu", New: valid})
+	mustPanic("duplicate", TargetInfo{Name: "TPUv4", Family: "tpu", RepCores: 8, New: valid})
+}

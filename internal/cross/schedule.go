@@ -102,8 +102,8 @@ type Schedule struct {
 	// SPMD critical path — cores synchronise at every collective).
 	Total float64
 
-	// Collective is the inter-chip (ICI) share of Total; zero on
-	// single-core targets.
+	// Collective is the interconnect (ICI or NVLink) share of Total;
+	// zero on single-core targets.
 	Collective float64
 
 	// Overlapped is the end-to-end latency under the overlap-aware
@@ -121,7 +121,8 @@ type Schedule struct {
 	DAGEdges int
 
 	// Trace is the per-category breakdown (Fig. 12's legend), with the
-	// collective share under tpusim.CatICI.
+	// collective share under the target's interconnect category
+	// (tpusim.CatICI or tpusim.CatNVLink).
 	Trace *tpusim.Trace
 
 	// Kernels counts the kernel launches of the lowering.
@@ -230,8 +231,8 @@ func (c *Compiler) LowerOp(op string, f func() float64) *Schedule {
 
 	total := f()
 
-	// Detach the observers before the roll-up Add below: the summary
-	// CatICI charge is bookkeeping, not a new segment.
+	// Detach the observers before the roll-up Adds below: the summary
+	// collective charges are bookkeeping, not new segments.
 	c.Dev.Trace.Observe(nil)
 	collective.Observe(nil)
 
@@ -244,9 +245,17 @@ func (c *Compiler) LowerOp(op string, f func() float64) *Schedule {
 		Trace:   c.Dev.Trace,
 		Kernels: c.tally,
 	}
-	s.Collective = c.T.CollectiveTrace().Total()
-	if s.Collective > 0 {
-		s.Trace.Add(tpusim.CatICI, s.Collective)
+	// Roll the collective breakdown into the schedule trace per
+	// category, in first-charge order, so multi-fabric vocabularies
+	// (CatICI on pods, CatNVLink on GPU nodes) survive the roll-up.
+	// Zero-second categories are skipped: a 1-core pod charges CatICI
+	// at 0 s, and adding it would perturb category order baselines.
+	ct := c.T.CollectiveTrace()
+	s.Collective = ct.Total()
+	for _, cat := range ct.Categories() {
+		if sec := ct.Seconds(cat); sec > 0 {
+			s.Trace.Add(cat, sec)
+		}
 	}
 
 	if math.IsNaN(total) || total < 0 {

@@ -61,10 +61,11 @@ func (s *ShardedCompiler) CostVecModAddLocal(n int) float64 {
 	return s.costVecModAddLocal(n)
 }
 
-// CollectiveSeconds reports the ICI time accumulated in the target's
-// collective trace. (Defined on Compiler so both faces share it.)
-// Every Target owns a collective trace — a bare device's just stays
-// empty — so no nil-guard is needed.
+// CollectiveSeconds reports the interconnect time accumulated in the
+// target's collective trace — ICI on a pod, NVLink on a GPU node; the
+// trace's total, so every fabric vocabulary is counted. (Defined on
+// Compiler so both faces share it.) Every Target owns a collective
+// trace — a bare device's just stays empty — so no nil-guard is needed.
 func (c *Compiler) CollectiveSeconds() float64 {
-	return c.T.CollectiveTrace().Seconds(tpusim.CatICI)
+	return c.T.CollectiveTrace().Total()
 }

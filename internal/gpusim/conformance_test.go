@@ -1,0 +1,24 @@
+package gpusim_test
+
+import (
+	"testing"
+
+	"cross/internal/cross"
+	"cross/internal/cross/crosstest"
+	"cross/internal/gpusim"
+)
+
+// TestTargetConformance runs the shared cross.Target conformance suite
+// (internal/cross/crosstest) against every modelled GPU part, for both
+// the bare Device and the NVLink Node — the acceptance gate that the
+// GPU backend honours the same contract the compiler lowers against.
+func TestTargetConformance(t *testing.T) {
+	for _, spec := range gpusim.AllSpecs() {
+		spec := spec
+		crosstest.Conformance(t, crosstest.Backend{
+			Name:      "gpusim/" + spec.Name,
+			NewDevice: func() cross.Target { return gpusim.NewDevice(spec) },
+			NewNode:   func(gpus int) cross.Target { return gpusim.MustNode(spec, gpus) },
+		})
+	}
+}

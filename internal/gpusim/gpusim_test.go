@@ -1,0 +1,196 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+
+	"cross/internal/tpusim"
+)
+
+// TestSpecSanity pins the structural invariants of every modelled part:
+// positive figures everywhere, read BW ≥ write BW ≥ HBM BW (the on-chip
+// hierarchy is faster than off-chip), and a CoreSpec whose element-wise
+// grain covers one full wave of thread blocks.
+func TestSpecSanity(t *testing.T) {
+	for _, s := range AllSpecs() {
+		core := s.CoreSpec()
+		if s.SMs <= 0 || s.ClockHz <= 0 || s.TensorINT8OPS <= 0 || s.CUDAOps <= 0 {
+			t.Errorf("%s: non-positive compute figure: %+v", s.Name, s)
+		}
+		if !(s.SMEMBandwidth > s.L2Bandwidth && s.L2Bandwidth > s.HBMBandwidth) {
+			t.Errorf("%s: memory hierarchy not ordered SMEM %g > L2 %g > HBM %g",
+				s.Name, s.SMEMBandwidth, s.L2Bandwidth, s.HBMBandwidth)
+		}
+		if s.KernelLaunch <= 0 || s.NVLinkBandwidth <= 0 || s.NVLinkLatency <= 0 {
+			t.Errorf("%s: non-positive launch/fabric figure", s.Name)
+		}
+		if s.NodeGPUs < 2 {
+			t.Errorf("%s: NodeGPUs = %d, want a multi-GPU node size", s.Name, s.NodeGPUs)
+		}
+		if core.Name != s.Name {
+			t.Errorf("%s: CoreSpec name %q", s.Name, core.Name)
+		}
+		if got := core.VPULanes * core.VPUSublanes; got != 128*s.SMs {
+			t.Errorf("%s: vector grain %d, want one wave of 128-thread blocks = %d", s.Name, got, 128*s.SMs)
+		}
+		if core.PeakMACs != s.TensorINT8OPS/2 {
+			t.Errorf("%s: PeakMACs %g, want TensorINT8OPS/2 = %g", s.Name, core.PeakMACs, s.TensorINT8OPS/2)
+		}
+		if core.OnChipCapacity != s.OnChipCapacity() {
+			t.Errorf("%s: core capacity %d != L2+SMEM %d", s.Name, core.OnChipCapacity, s.OnChipCapacity())
+		}
+		if core.DispatchOverhead != s.KernelLaunch {
+			t.Errorf("%s: dispatch overhead %g != kernel launch %g", s.Name, core.DispatchOverhead, s.KernelLaunch)
+		}
+		if core.VPUDerate != 1 {
+			t.Errorf("%s: VPUDerate %g, want 1 (CUDA kernels fuse in registers)", s.Name, core.VPUDerate)
+		}
+	}
+}
+
+// TestTensorToCUDARatio pins the §III-B1 comparison the paper makes:
+// the GPU's tensor-to-CUDA throughput ratio sits an order of magnitude
+// below the TPU's MXU-to-VPU ratio (~58× on v4).
+func TestTensorToCUDARatio(t *testing.T) {
+	for _, s := range AllSpecs() {
+		r := s.TensorToCUDARatio()
+		if r < 10 || r > 70 {
+			t.Errorf("%s: tensor/CUDA ratio %.1f outside the plausible [10, 70] band", s.Name, r)
+		}
+	}
+	tpu := tpusim.TPUv4()
+	if a, g := tpu.MXUToVPURatio(), A100_40GB().TensorToCUDARatio(); a <= g {
+		t.Errorf("TPUv4 MXU/VPU ratio %.1f should exceed A100 tensor/CUDA ratio %.1f (§III-B1)", a, g)
+	}
+}
+
+// TestSpecByName covers the lookup face.
+func TestSpecByName(t *testing.T) {
+	for _, want := range AllSpecs() {
+		got, ok := SpecByName(want.Name)
+		if !ok || got.Name != want.Name {
+			t.Errorf("SpecByName(%q) = %+v, %v", want.Name, got, ok)
+		}
+	}
+	if _, ok := SpecByName("V100"); ok {
+		t.Error("SpecByName(V100) resolved an unmodelled part")
+	}
+}
+
+// TestRingCollectiveShape checks the ring model on the switchless
+// A100-40GB: latency terms accumulate linearly in the GPU count, so
+// doubling n (at fixed payload) must *increase* the latency share while
+// the wire share stays bounded.
+func TestRingCollectiveShape(t *testing.T) {
+	spec := A100_40GB()
+	if spec.Topology != TopologyRing {
+		t.Fatalf("A100-40GB should model the switchless board, got %v", spec.Topology)
+	}
+	const payload = 1 << 20
+	var prev float64
+	for _, n := range []int{2, 4, 8, 16} {
+		node := MustNode(spec, n)
+		got := node.AllReduceTime(payload)
+		want := 2 * float64(n-1) * (float64(payload)/float64(n)/spec.NVLinkBandwidth + spec.NVLinkLatency)
+		if math.Abs(got-want) > 1e-18 {
+			t.Errorf("ring AllReduce(%d GPUs) = %g, want %g", n, got, want)
+		}
+		if got <= prev {
+			t.Errorf("ring AllReduce latency should grow with GPU count at fixed payload: n=%d gave %g ≤ %g", n, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestSwitchCollectiveShape checks the NVSwitch model on the H100: a
+// constant number of fabric latencies regardless of GPU count, with the
+// wire time asymptoting to B/BW — so going 2→16 GPUs adds at most the
+// growth of the (n−1)/n factor, never an extra latency term.
+func TestSwitchCollectiveShape(t *testing.T) {
+	spec := H100()
+	if spec.Topology != TopologySwitch {
+		t.Fatalf("H100 should model the NVSwitch chassis, got %v", spec.Topology)
+	}
+	const payload = 1 << 20
+	for _, n := range []int{2, 4, 8, 16} {
+		node := MustNode(spec, n)
+		share := float64(payload) * float64(n-1) / float64(n)
+		wantAG := share/spec.NVLinkBandwidth + spec.NVLinkLatency
+		if got := node.AllGatherTime(payload); math.Abs(got-wantAG) > 1e-18 {
+			t.Errorf("switch AllGather(%d GPUs) = %g, want %g", n, got, wantAG)
+		}
+		if got, want := node.AllReduceTime(payload), 2*wantAG; math.Abs(got-want) > 1e-18 {
+			t.Errorf("switch AllReduce(%d GPUs) = %g, want %g", n, got, want)
+		}
+		wantBC := float64(payload)/spec.NVLinkBandwidth + spec.NVLinkLatency
+		if got := node.BroadcastTime(payload); math.Abs(got-wantBC) > 1e-18 {
+			t.Errorf("switch Broadcast(%d GPUs) = %g, want %g (count-independent)", n, got, wantBC)
+		}
+	}
+}
+
+// TestSwitchBeatsRingAtScale pins the scaling story the topologies
+// exist to tell: on a small payload at large n, the switch's constant
+// phase count beats the ring's O(n) accumulated latencies (compared on
+// one part so only the topology differs).
+func TestSwitchBeatsRingAtScale(t *testing.T) {
+	ring := A100_40GB()
+	switched := ring
+	switched.Topology = TopologySwitch
+	const payload = 64 << 10
+	const n = 16
+	r := MustNode(ring, n).AllReduceTime(payload)
+	s := MustNode(switched, n).AllReduceTime(payload)
+	if s >= r {
+		t.Errorf("switch AllReduce %g should beat ring %g at n=%d on a latency-bound payload", s, r, n)
+	}
+}
+
+// TestNodeCollectivesChargeNVLink checks the trace category contract:
+// node collectives charge CatNVLink, never the TPU's CatICI.
+func TestNodeCollectivesChargeNVLink(t *testing.T) {
+	node := MustNode(H100(), 8)
+	node.AllReduce(1 << 20)
+	node.AllGather(1 << 20)
+	node.Broadcast(1 << 20)
+	tr := node.CollectiveTrace()
+	if got := tr.Seconds(tpusim.CatNVLink); got <= 0 {
+		t.Errorf("CatNVLink total = %g, want > 0", got)
+	}
+	if got := tr.Seconds(tpusim.CatICI); got != 0 {
+		t.Errorf("CatICI total = %g on a GPU node, want 0", got)
+	}
+	sum := node.AllReduceTime(1<<20) + node.AllGatherTime(1<<20) + node.BroadcastTime(1<<20)
+	if got := tr.Total(); math.Abs(got-sum) > 1e-18 {
+		t.Errorf("trace total %g != sum of collective times %g", got, sum)
+	}
+}
+
+// TestNewNodeRejectsZero covers the constructor error path.
+func TestNewNodeRejectsZero(t *testing.T) {
+	if _, err := NewNode(H100(), 0); err == nil {
+		t.Error("NewNode(0) should fail")
+	}
+	if _, err := NewNode(H100(), -3); err == nil {
+		t.Error("NewNode(-3) should fail")
+	}
+}
+
+// TestReset checks Reset clears compute and collective traces on both
+// target shapes.
+func TestReset(t *testing.T) {
+	node := MustNode(A100_80GB(), 4)
+	node.AllReduce(1 << 20)
+	node.Core().Trace.Add(tpusim.CatVecModOps, 1e-6)
+	node.Reset()
+	if got := node.TotalSeconds(); got != 0 {
+		t.Errorf("TotalSeconds after Reset = %g, want 0", got)
+	}
+
+	dev := NewDevice(H100())
+	dev.Core().Trace.Add(tpusim.CatVecModOps, 1e-6)
+	dev.Reset()
+	if got := dev.Core().Trace.Total(); got != 0 {
+		t.Errorf("device trace after Reset = %g, want 0", got)
+	}
+}

@@ -1,0 +1,185 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+
+	"cross/internal/tpusim"
+)
+
+// Node models a multi-GPU server: N identical GPUs of one part joined
+// by an NVLink fabric. It is the gpusim sibling of tpusim.Pod and the
+// place the two backends genuinely diverge — compute prices through the
+// same roofline core, but the collective cost model depends on the
+// fabric topology:
+//
+// TopologyRing (directly-bridged NVLink, no switch) uses the same
+// bandwidth-optimal ring algorithms as the TPU's ICI torus: a payload
+// of B bytes over n GPUs costs
+//
+//	AllReduce:   2(n−1) steps of B/n bytes  (reduce-scatter + all-gather)
+//	AllGather:    (n−1) steps of B/n bytes
+//	Broadcast: ⌈log₂n⌉ steps of B bytes     (binomial tree)
+//
+// with each step paying the per-hop NVLinkLatency.
+//
+// TopologySwitch (NVSwitch) is a non-blocking all-to-all fabric: every
+// GPU sends and receives at full injection bandwidth simultaneously, so
+// a collective finishes in a CONSTANT number of phases regardless of n —
+// the wire time is bounded by each GPU's injection of its (n−1)/n share
+// and only one (AllGather/Broadcast) or two (AllReduce) fabric
+// latencies are paid:
+//
+//	AllGather:      (n−1)/n · B / BW + Lat
+//	AllReduce:  2 · ((n−1)/n · B / BW + Lat)
+//	Broadcast:            B / BW + Lat
+//
+// As n grows, ring collectives accumulate O(n) latency terms while
+// switched collectives hold latency constant and asymptote to the same
+// wire time — the scaling difference the cross-hardware report exists
+// to show.
+type Node struct {
+	GPU  Spec
+	GPUs []*Device
+	// Trace accumulates collective (NVLink) time, which belongs to the
+	// fabric rather than to any single GPU.
+	Trace *tpusim.Trace
+}
+
+// NewNode builds an n-GPU node of one part. Every GPU gets its own
+// roofline core; per-kernel latency on a symmetric (SPMD) schedule is
+// the time of GPU 0 plus the node's collective time.
+func NewNode(spec Spec, gpus int) (*Node, error) {
+	if gpus < 1 {
+		return nil, fmt.Errorf("gpusim: node needs at least one GPU, got %d", gpus)
+	}
+	n := &Node{GPU: spec, GPUs: make([]*Device, gpus), Trace: tpusim.NewTrace()}
+	for i := range n.GPUs {
+		n.GPUs[i] = NewDevice(spec)
+	}
+	return n, nil
+}
+
+// MustNode is NewNode that panics on error.
+func MustNode(spec Spec, gpus int) *Node {
+	n, err := NewNode(spec, gpus)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// NumCores returns the GPU count.
+func (n *Node) NumCores() int { return len(n.GPUs) }
+
+// Core returns the representative GPU's roofline core (GPU 0).
+// Schedules are SPMD over symmetric GPUs, so GPU 0's trace stands for
+// every GPU's compute time.
+func (n *Node) Core() *tpusim.Device {
+	if n == nil || len(n.GPUs) == 0 {
+		return nil
+	}
+	return n.GPUs[0].Core()
+}
+
+// CollectiveTrace exposes the node's NVLink trace.
+func (n *Node) CollectiveTrace() *tpusim.Trace { return n.Trace }
+
+// SetCollectiveTrace swaps the NVLink trace — used by the compiler to
+// cost schedules without polluting the live trace.
+func (n *Node) SetCollectiveTrace(t *tpusim.Trace) { n.Trace = t }
+
+// Name renders the node naming ("H100-8").
+func (n *Node) Name() string { return fmt.Sprintf("%s-%d", n.GPU.Name, len(n.GPUs)) }
+
+// Reset clears every GPU trace and the node's collective trace.
+func (n *Node) Reset() {
+	for _, d := range n.GPUs {
+		d.Reset()
+	}
+	n.Trace.Reset()
+}
+
+// step is the time of one ring phase moving `bytes` over one NVLink hop.
+func (n *Node) step(bytes float64) float64 {
+	return bytes/n.GPU.NVLinkBandwidth + n.GPU.NVLinkLatency
+}
+
+// wire is the switched-fabric time for each GPU to inject `bytes`.
+func (n *Node) wire(bytes float64) float64 {
+	return bytes/n.GPU.NVLinkBandwidth + n.GPU.NVLinkLatency
+}
+
+// AllReduceTime models an all-reduce of a `bytes` payload: every GPU
+// ends with the element-wise reduction of all GPUs' buffers.
+func (n *Node) AllReduceTime(bytes int64) float64 {
+	c := len(n.GPUs)
+	if c == 1 {
+		return 0
+	}
+	if n.GPU.Topology == TopologySwitch {
+		return 2 * n.wire(float64(bytes)*float64(c-1)/float64(c))
+	}
+	return 2 * float64(c-1) * n.step(float64(bytes)/float64(c))
+}
+
+// AllGatherTime models an all-gather: the `bytes` payload is the FULL
+// gathered buffer, of which each GPU contributes bytes/n.
+func (n *Node) AllGatherTime(bytes int64) float64 {
+	c := len(n.GPUs)
+	if c == 1 {
+		return 0
+	}
+	if n.GPU.Topology == TopologySwitch {
+		return n.wire(float64(bytes) * float64(c-1) / float64(c))
+	}
+	return float64(c-1) * n.step(float64(bytes)/float64(c))
+}
+
+// BroadcastTime models a broadcast of `bytes` from one GPU to all
+// others: one switched multicast phase, or a binomial tree on a ring.
+func (n *Node) BroadcastTime(bytes int64) float64 {
+	c := len(n.GPUs)
+	if c == 1 {
+		return 0
+	}
+	if n.GPU.Topology == TopologySwitch {
+		return n.wire(float64(bytes))
+	}
+	steps := math.Ceil(math.Log2(float64(c)))
+	return steps * n.step(float64(bytes))
+}
+
+// AllReduce charges an all-reduce to the node's NVLink trace.
+func (n *Node) AllReduce(bytes int64) float64 {
+	t := n.AllReduceTime(bytes)
+	n.Trace.Add(tpusim.CatNVLink, t)
+	return t
+}
+
+// AllGather charges an all-gather to the node's NVLink trace.
+func (n *Node) AllGather(bytes int64) float64 {
+	t := n.AllGatherTime(bytes)
+	n.Trace.Add(tpusim.CatNVLink, t)
+	return t
+}
+
+// Broadcast charges a broadcast to the node's NVLink trace.
+func (n *Node) Broadcast(bytes int64) float64 {
+	t := n.BroadcastTime(bytes)
+	n.Trace.Add(tpusim.CatNVLink, t)
+	return t
+}
+
+// TotalSeconds returns the node-level latency of the schedule executed
+// so far: the busiest GPU's trace plus all collective time (the SPMD
+// critical path — GPUs synchronise at every collective).
+func (n *Node) TotalSeconds() float64 {
+	var busiest float64
+	for _, d := range n.GPUs {
+		if t := d.Core().Trace.Total(); t > busiest {
+			busiest = t
+		}
+	}
+	return busiest + n.Trace.Total()
+}

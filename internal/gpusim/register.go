@@ -1,0 +1,33 @@
+package gpusim
+
+import "cross/internal/cross"
+
+// Both gpusim targets satisfy the Target contract the compiler lowers
+// against — the proof of the PR 2 one-lowering-per-abstract-machine
+// claim this package exists for.
+var (
+	_ cross.Target = (*Device)(nil)
+	_ cross.Target = (*Node)(nil)
+)
+
+// The GPU parts register into the cross device registry at init, after
+// the TPUs (cross's own init runs first — Go initialises imported
+// packages before the importer). cores=1 returns a bare Device rather
+// than a 1-GPU Node so the degenerate case carries no fabric at all;
+// the conformance suite checks the two price identically anyway.
+func init() {
+	for _, spec := range AllSpecs() {
+		spec := spec
+		cross.RegisterTarget(cross.TargetInfo{
+			Name:     spec.Name,
+			Family:   "gpu",
+			RepCores: spec.NodeGPUs,
+			New: func(gpus int) (cross.Target, error) {
+				if gpus == 1 {
+					return NewDevice(spec), nil
+				}
+				return NewNode(spec, gpus)
+			},
+		})
+	}
+}

@@ -1,0 +1,243 @@
+// Package gpusim is the second hardware backend of the reproduction: an
+// analytical performance model of A100/H100-class datacenter GPUs that
+// satisfies the same cross.Target contract as internal/tpusim, so every
+// HE lowering written once against the Target interface runs unchanged
+// on a GPU. The package exists to prove the PR 2 claim — one lowering
+// per abstract machine — and to let one command answer cross-hardware
+// questions ("TPUv6e pod vs H100 node for Bootstrap at Set D") that no
+// HE paper reproduction currently tells.
+//
+// The modeling strategy mirrors mgpusim's component decomposition (a
+// GPU is specs + a timing model + a driver-level interconnect, each
+// separately swappable) but reuses this repo's roofline core: a Spec
+// carries GPU-native figures (SM count, tensor-core INT8 throughput,
+// HBM and L2/SMEM bandwidth, CUDA kernel-launch overhead) and CoreSpec
+// maps them onto the tpusim.Spec roofline model that every kernel
+// lowering already prices against:
+//
+//   - tensor cores play the MXU (dense INT8 matmul at PeakMACs, padded
+//     to a much finer tile than the TPU's 128/256 systolic array);
+//   - CUDA cores play the VPU (32-bit ALU ops across one full wave of
+//     thread blocks, no XLA materialisation derate — CUDA HE kernels
+//     fuse their modular-arithmetic stages in registers);
+//   - L2 + SMEM play VMEM (reads stream from SMEM aggregate bandwidth,
+//     writes drain through L2);
+//   - the CUDA launch overhead plays XLA's dispatch overhead.
+//
+// What is genuinely different is the interconnect: a Node's collectives
+// price NVLink ring phases or one-phase NVSwitch (all-to-all) exchanges
+// (node.go) — not the TPU's ICI torus — and charge the CatNVLink trace
+// category. Absolute times are not silicon-accurate; the comparative
+// shapes (tensor-to-CUDA throughput ratio, launch-overhead batching
+// knees, switch-vs-ring latency scaling) follow published part specs.
+package gpusim
+
+import "cross/internal/tpusim"
+
+// Topology selects the Node's NVLink fabric shape, which picks the
+// collective cost model (node.go).
+type Topology uint8
+
+const (
+	// TopologyRing models directly-bridged NVLink (HGX-style boards
+	// without an NVSwitch): collectives run bandwidth-optimal rings and
+	// pay a per-hop latency per phase, like the TPU ICI torus.
+	TopologyRing Topology = iota
+	// TopologySwitch models an NVSwitch fabric: every GPU reaches every
+	// other at full injection bandwidth through a non-blocking switch,
+	// so collectives finish in a constant number of phases regardless
+	// of the GPU count.
+	TopologySwitch
+)
+
+// String names the topology for reports and test failures.
+func (t Topology) String() string {
+	if t == TopologySwitch {
+		return "nvswitch"
+	}
+	return "ring"
+}
+
+// Spec describes one A100/H100-class GPU. Compute and bandwidth figures
+// come from the published part datasheets (dense throughput — sparsity
+// is useless for exact modular arithmetic); microarchitectural shape
+// parameters from the architecture whitepapers.
+type Spec struct {
+	Name string
+
+	// SMs is the streaming-multiprocessor count (108 on A100, 132 on
+	// the H100 SXM part).
+	SMs     int
+	ClockHz float64 // sustained boost clock
+
+	// TensorINT8OPS is the GPU's dense INT8 tensor-core throughput in
+	// ops/s (1 MAC = 2 ops), the engine BAT's dense modular matmuls
+	// run on.
+	TensorINT8OPS float64
+
+	// CUDAOps is the peak 32-bit integer ALU rate (ops/s) across all
+	// CUDA cores — the VPU analogue modular reduction runs on when BAT
+	// is not used.
+	CUDAOps float64
+
+	// Memory system (bytes/s).
+	HBMBandwidth  float64 // off-chip HBM2e/HBM3
+	L2Bandwidth   float64 // L2 slice aggregate (the VMEM write analogue)
+	SMEMBandwidth float64 // shared-memory aggregate (the VMEM read analogue)
+
+	// On-chip capacity (bytes): the unified L2 plus per-SM shared
+	// memory, the working-set bound behind batching knees.
+	L2Capacity int64
+	SMEMPerSM  int64
+
+	// KernelLaunch is the fixed CUDA kernel-launch overhead (seconds) —
+	// the GPU's analogue of XLA's dispatch overhead and the reason
+	// batching amortises small HE kernels on both backends.
+	KernelLaunch float64
+
+	WattsPerGPU float64
+
+	// NVLink fabric joining the GPUs of a Node. NVLinkBandwidth is the
+	// per-GPU unidirectional injection bandwidth (bytes/s; half the
+	// marketing "total bidirectional" figure), NVLinkLatency the fixed
+	// per-phase cost (link traversal + collective-runtime launch), and
+	// NVLinkGen the generation the numbers come from.
+	NVLinkBandwidth float64
+	NVLinkLatency   float64
+	NVLinkGen       int
+	Topology        Topology
+
+	// NodeGPUs is the platform's standard node size (8 for DGX/HGX
+	// boards) — the representative core count registry metadata and
+	// cross-hardware tables use.
+	NodeGPUs int
+}
+
+// A100_40GB returns the A100-SXM4-40GB model on a directly-bridged
+// (switchless) HGX board — the ring-collective end of the NVLink
+// spectrum.
+func A100_40GB() Spec {
+	return Spec{
+		Name:            "A100-40GB",
+		SMs:             108,
+		ClockHz:         1.41e9,
+		TensorINT8OPS:   624e12,
+		CUDAOps:         19.5e12,
+		HBMBandwidth:    1555e9,
+		L2Bandwidth:     5120e9,
+		SMEMBandwidth:   19500e9, // 108 SMs × 128 B/clk × 1.41 GHz
+		L2Capacity:      40 << 20,
+		SMEMPerSM:       164 << 10,
+		KernelLaunch:    4.5e-6,
+		WattsPerGPU:     400,
+		NVLinkBandwidth: 300e9, // NVLink3: 600 GB/s bidirectional
+		NVLinkLatency:   2e-6,
+		NVLinkGen:       3,
+		Topology:        TopologyRing,
+		NodeGPUs:        8,
+	}
+}
+
+// A100_80GB returns the A100-SXM4-80GB model in a DGX-style NVSwitch
+// chassis: same compute, HBM2e at 2.0 TB/s, switched collectives.
+func A100_80GB() Spec {
+	s := A100_40GB()
+	s.Name = "A100-80GB"
+	s.HBMBandwidth = 2039e9
+	s.NVLinkLatency = 2.5e-6 // switch traversal adds to the phase cost
+	s.Topology = TopologySwitch
+	return s
+}
+
+// H100 returns the H100-SXM5 model (DGX H100: NVSwitch gen 3, NVLink4).
+func H100() Spec {
+	return Spec{
+		Name:            "H100",
+		SMs:             132,
+		ClockHz:         1.83e9,
+		TensorINT8OPS:   1979e12,
+		CUDAOps:         33.5e12,
+		HBMBandwidth:    3352e9,
+		L2Bandwidth:     8250e9,
+		SMEMBandwidth:   30900e9, // 132 SMs × 128 B/clk × 1.83 GHz
+		L2Capacity:      50 << 20,
+		SMEMPerSM:       228 << 10,
+		KernelLaunch:    3e-6,
+		WattsPerGPU:     700,
+		NVLinkBandwidth: 450e9, // NVLink4: 900 GB/s bidirectional
+		NVLinkLatency:   2.5e-6,
+		NVLinkGen:       4,
+		Topology:        TopologySwitch,
+		NodeGPUs:        8,
+	}
+}
+
+// AllSpecs returns the modelled GPU parts, oldest first.
+func AllSpecs() []Spec {
+	return []Spec{A100_40GB(), A100_80GB(), H100()}
+}
+
+// SpecByName resolves a part by name.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range AllSpecs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// OnChipCapacity returns the GPU's total on-chip working-set capacity:
+// unified L2 plus the aggregate per-SM shared memory.
+func (s Spec) OnChipCapacity() int64 {
+	return s.L2Capacity + int64(s.SMs)*s.SMEMPerSM
+}
+
+// TensorToCUDARatio returns the tensor-to-CUDA-core throughput ratio —
+// the GPU counterpart of tpusim's MXUToVPURatio (§III-B1). On INT8
+// tensor vs INT32 scalar rates it lands near the TPU's, which is why
+// BAT pays off on both backends.
+func (s Spec) TensorToCUDARatio() float64 {
+	return s.TensorINT8OPS / s.CUDAOps
+}
+
+// CoreSpec maps the GPU onto the shared roofline core model: the
+// tpusim.Spec every kernel lowering prices against. The mapping is the
+// whole trick of the backend — one lowering, two machines:
+//
+//   - MXUDim 32: tensor-core GEMMs quantize to warp-level mma tiles,
+//     far finer than the TPU's 128/256 systolic array, so small
+//     matmuls waste much less padding on the GPU;
+//   - VPULanes×VPUSublanes = one full wave of 128-thread blocks across
+//     every SM — the element-wise grain a CUDA grid executes in
+//     lock step;
+//   - VPUDerate 1: hand-written CUDA HE kernels keep their
+//     modular-arithmetic stages in registers, unlike XLA's
+//     materialise-every-HLO pipeline (§V-E);
+//   - VMEM read = SMEM aggregate, VMEM write = L2 (operands stream
+//     from shared memory, results drain through L2);
+//   - XLU analogue: shuffles move through shared memory at 32
+//     elems/SM/cycle; random gathers coalesce at a quarter of that.
+func (s Spec) CoreSpec() tpusim.Spec {
+	return tpusim.Spec{
+		Name:                s.Name,
+		MXUDim:              32,
+		NumMXUs:             4 * s.SMs,
+		PeakMACs:            s.TensorINT8OPS / 2,
+		VPULanes:            32,
+		VPUSublanes:         4 * s.SMs,
+		VPUOps:              s.CUDAOps,
+		ClockHz:             s.ClockHz,
+		HBMBandwidth:        s.HBMBandwidth,
+		VMEMReadBW:          s.SMEMBandwidth,
+		VMEMWriteBW:         s.L2Bandwidth,
+		OnChipCapacity:      s.OnChipCapacity(),
+		XLUElemsPerCycle:    32 * s.SMs,
+		GatherElemsPerCycle: 8 * s.SMs,
+		VPUDerate:           1,
+		DispatchOverhead:    s.KernelLaunch,
+		WattsPerCore:        s.WattsPerGPU,
+		ICIBandwidth:        s.NVLinkBandwidth,
+		ICILatency:          s.NVLinkLatency,
+	}
+}

@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cross/internal/cross"
+	"cross/internal/sweep"
+)
+
+// TestRepresentativeCoresCoversRegistry is the anti-drift guard that
+// replaced TableVII's hardcoded core-count map: every registered
+// device must carry a usable representative core count, and the TPU
+// entries must still be the Tab. IV VM sizes.
+func TestRepresentativeCoresCoversRegistry(t *testing.T) {
+	cores := RepresentativeCores()
+	infos := cross.RegisteredTargets()
+	if len(cores) != len(infos) {
+		t.Fatalf("RepresentativeCores has %d entries, registry has %d", len(cores), len(infos))
+	}
+	for _, info := range infos {
+		n, ok := cores[info.Name]
+		if !ok {
+			t.Errorf("%s: no representative core count", info.Name)
+			continue
+		}
+		if n < 1 {
+			t.Errorf("%s: representative core count %d < 1", info.Name, n)
+		}
+		if _, err := cross.TargetByName(info.Name, n); err != nil {
+			t.Errorf("%s at %d cores: %v", info.Name, n, err)
+		}
+	}
+	for name, want := range map[string]int{"TPUv4": 8, "TPUv5e": 4, "TPUv5p": 8, "TPUv6e": 8} {
+		if got := cores[name]; got != want {
+			t.Errorf("%s: representative cores = %d, want Tab. IV's %d", name, got, want)
+		}
+	}
+}
+
+func TestParseTargetSpec(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		cores int
+	}{
+		{"TPUv6e-16", "TPUv6e", 16},
+		{"H100-8", "H100", 8},
+		{"A100-80GB", "A100-80GB", 1}, // dash in the part name is not a core suffix
+		{"A100-80GB-4", "A100-80GB", 4},
+		{"TPUv4", "TPUv4", 1},
+	}
+	for _, c := range cases {
+		name, cores, err := ParseTargetSpec(c.in)
+		if err != nil {
+			t.Errorf("ParseTargetSpec(%q): %v", c.in, err)
+			continue
+		}
+		if name != c.name || cores != c.cores {
+			t.Errorf("ParseTargetSpec(%q) = (%q, %d), want (%q, %d)", c.in, name, cores, c.name, c.cores)
+		}
+	}
+	for _, bad := range []string{"", "Hopper", "H100-0", "H100--2", "TPUv6e-"} {
+		if _, _, err := ParseTargetSpec(bad); err == nil {
+			t.Errorf("ParseTargetSpec(%q): expected error", bad)
+		}
+	}
+	if _, _, err := ParseTargetSpec("Hopper"); err == nil || !strings.Contains(err.Error(), cross.TargetNames()) {
+		t.Errorf("unknown-target error should list valid devices, got %v", err)
+	}
+}
+
+// TestVersusSchema pins the -versus engine: entry order (targets
+// outer, workloads inner), the stable JSON field names, and agreement
+// with a direct registry-built lowering.
+func TestVersusSchema(t *testing.T) {
+	v, err := Versus([]string{"TPUv6e-16", "H100-8"}, "D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wls := sweep.DefaultWorkloads
+	if want := 2 * len(wls); len(v.Entries) != want {
+		t.Fatalf("got %d entries, want %d", len(v.Entries), want)
+	}
+	for i, e := range v.Entries {
+		wantTarget := "TPUv6e-16"
+		if i >= len(wls) {
+			wantTarget = "H100-8"
+		}
+		if e.Target != wantTarget || e.Workload != wls[i%len(wls)] {
+			t.Errorf("entry %d: (%s, %s), want (%s, %s)", i, e.Target, e.Workload, wantTarget, wls[i%len(wls)])
+		}
+		if e.TotalS <= 0 || e.OverlappedS <= 0 || e.OverlappedS > e.TotalS {
+			t.Errorf("entry %d: implausible latencies total=%g overlapped=%g", i, e.TotalS, e.OverlappedS)
+		}
+		if e.CollectiveS <= 0 { // both targets are multi-core
+			t.Errorf("entry %d: collective share %g, want > 0", i, e.CollectiveS)
+		}
+	}
+	if v.Entries[0].Family != "tpu" || v.Entries[len(wls)].Family != "gpu" {
+		t.Error("family metadata wrong")
+	}
+
+	raw, err := json.Marshal(v.Entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"target"`, `"device"`, `"family"`, `"cores"`, `"workload"`, `"total_s"`, `"overlapped_s"`, `"collective_s"`, `"kernel_counts"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("JSON schema missing %s in %s", key, raw)
+		}
+	}
+
+	// Cross-check one cell against a direct lowering.
+	tgt, err := cross.TargetByName("H100", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := cross.Compile(tgt, cross.SetD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sweep.BuildProgram(comp, "HE-Mult")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := prog.Lower().Total; v.Entries[len(wls)].TotalS != want {
+		t.Errorf("H100-8 HE-Mult: versus %g != direct %g", v.Entries[len(wls)].TotalS, want)
+	}
+
+	r := v.Report()
+	for _, want := range []string{"TPUv6e-16", "H100-8", "fastest", "HE-Mult"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("report body missing %q", want)
+		}
+	}
+}
+
+func TestVersusRejectsBadInput(t *testing.T) {
+	if _, err := Versus(nil, "D"); err == nil {
+		t.Error("empty target list accepted")
+	}
+	if _, err := Versus([]string{"TPUv6e-16"}, "Z"); err == nil {
+		t.Error("unknown set accepted")
+	}
+	if _, err := Versus([]string{"Hopper-8"}, "D"); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestCoreScalingOnGPU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scaling sweep is slow")
+	}
+	r, err := CoreScalingOn("H100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(r.Notes, "VIOLATED") {
+		t.Errorf("H100 scaling shape check failed: %s", r.Notes)
+	}
+	if _, err := CoreScalingOn("Hopper"); err == nil {
+		t.Error("unknown device accepted")
+	}
+}

@@ -10,8 +10,8 @@ func TestAllReportsRenderWithoutViolations(t *testing.T) {
 		t.Skip("full report regeneration is slow")
 	}
 	reports := AllReports()
-	if len(reports) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(reports))
+	if len(reports) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(reports))
 	}
 	for _, r := range reports {
 		if r.ID == "" || r.Title == "" || r.Body == "" {
@@ -36,7 +36,7 @@ func TestReportByID(t *testing.T) {
 		t.Error("found nonexistent report")
 	}
 	ids := IDs()
-	if len(ids) != 15 {
+	if len(ids) != 16 {
 		t.Errorf("IDs() returned %d entries", len(ids))
 	}
 }

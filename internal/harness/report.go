@@ -139,6 +139,7 @@ func AllReports() []Report {
 		Workloads(),
 		ParamSweep(),
 		CoreScaling(),
+		CrossHardware(),
 	}
 }
 

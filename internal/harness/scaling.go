@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"cross/internal/cross"
-	"cross/internal/tpusim"
 )
 
 // scalingCores is the pod-size axis of the core-count sweep.
@@ -13,19 +12,29 @@ var scalingCores = []int{1, 2, 4, 8}
 // CoreScaling is the pod-scale scaling sweep (beyond-paper: the §VI
 // "multi-chip" direction the paper leaves as future work). For every
 // parameter set it lowers HE-Mult and a 64-limb NTT batch onto
-// 1/2/4/8-core pods of one generation and reports speedup over the
+// 1/2/4/8-core targets of one device and reports speedup over the
 // single-core lowering — the TPU analogue of mgpusim's work-group ×
 // compute-unit sweeps.
 func CoreScaling() Report {
-	return coreScalingOn(tpusim.TPUv6e())
+	r, err := CoreScalingOn("TPUv6e")
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	return r
 }
 
-// CoreScalingOn runs the sweep on a caller-chosen generation
-// (cmd/crossbench's -scaling -device path).
-func CoreScalingOn(spec tpusim.Spec) Report { return coreScalingOn(spec) }
+// CoreScalingOn runs the sweep on a caller-chosen registered device
+// (cmd/crossbench's -scaling -device path) — any registry name, TPU
+// or GPU.
+func CoreScalingOn(name string) (Report, error) {
+	if _, ok := cross.TargetInfoByName(name); !ok {
+		return Report{}, fmt.Errorf("harness: unknown device %q (valid: %s)", name, cross.TargetNames())
+	}
+	return coreScalingOn(name), nil
+}
 
-func coreScalingOn(spec tpusim.Spec) Report {
-	t := newTable("Set", "Cores", "HE-Mult µs", "Speedup", "Overlap µs", "Hidden %", "NTT×64 µs", "NTT Speedup", "ICI µs")
+func coreScalingOn(device string) Report {
+	t := newTable("Set", "Cores", "HE-Mult µs", "Speedup", "Overlap µs", "Hidden %", "NTT×64 µs", "NTT Speedup", "Coll µs")
 
 	ok := true
 	for _, name := range []string{"A", "B", "C", "D"} {
@@ -35,14 +44,14 @@ func coreScalingOn(spec tpusim.Spec) Report {
 		}
 		var multBase, nttBase float64
 		for _, cores := range scalingCores {
-			pod, err := tpusim.NewPod(spec, cores)
+			tgt, err := cross.TargetByName(device, cores)
 			if err != nil {
 				panic(fmt.Sprintf("harness: %v", err))
 			}
-			// One Compile call covers every pod size: the pod is just
-			// another Target, and the Schedule carries the collective
-			// share as first-class metadata.
-			sc, err := cross.Compile(pod, p)
+			// One Compile call covers every target size: a pod or GPU
+			// node is just another Target, and the Schedule carries the
+			// collective share as first-class metadata.
+			sc, err := cross.Compile(tgt, p)
 			if err != nil {
 				panic(fmt.Sprintf("harness: %v", err))
 			}
@@ -73,13 +82,13 @@ func coreScalingOn(spec tpusim.Spec) Report {
 		}
 	}
 
-	notes := "multi-core pods beat the single-core lowering on the large sets, the limb-parallel NTT batch scales near-linearly, and collective (ICI) time grows with the core count — small sets hit their scaling knee early because the per-hop latency term grows while the digit-level win saturates; the overlap column (DAG makespan, DESIGN.md §13) shows how much of that ICI time hides behind compute until the ICI-bound knee"
+	notes := "multi-core targets beat the single-core lowering on the large sets, the limb-parallel NTT batch scales near-linearly, and collective (ICI/NVLink) time grows with the core count — small sets hit their scaling knee early because the per-hop latency term grows while the digit-level win saturates; the overlap column (DAG makespan, DESIGN.md §13) shows how much of that collective time hides behind compute until the interconnect-bound knee"
 	if !ok {
 		notes = "VIOLATED: sharded lowering not faster than single-core on large kernels, or overlapped makespan above serial"
 	}
 	return Report{
 		ID:    "Core Scaling",
-		Title: fmt.Sprintf("Pod core-count scaling sweep (%s, beyond-paper §VI direction)", spec.Name),
+		Title: fmt.Sprintf("Core-count scaling sweep (%s, beyond-paper §VI direction)", device),
 		Body:  t.String(),
 		Notes: notes,
 	}

@@ -82,10 +82,12 @@ func TableVI() Report {
 }
 
 // TableVII regenerates Tab. VII / Fig. 11a: NTT throughput per TPU
-// generation against the published GPU rows, using each setup's core
-// count from Tab. IV (8, 4, 8, 8).
+// generation against the published GPU rows, using each setup's
+// representative core count from the device registry (the Tab. IV VM
+// sizes — 8, 4, 8, 8 — so the table cannot drift from the registry as
+// backends are added).
 func TableVII() Report {
-	coreCount := map[string]int{"TPUv4": 8, "TPUv5e": 4, "TPUv5p": 8, "TPUv6e": 8}
+	coreCount := RepresentativeCores()
 	sets := []cross.Params{cross.SetA(), cross.SetB(), cross.SetC()}
 	t := newTable("platform", "N=2^12 kNTT/s", "N=2^13", "N=2^14", "paper (2^12/13/14)")
 	for _, b := range refdata.NTTBaselines() {

@@ -37,7 +37,6 @@ import (
 
 	"cross/internal/cross"
 	"cross/internal/sweep"
-	"cross/internal/tpusim"
 )
 
 // Dispatch policies.
@@ -75,10 +74,10 @@ func DefaultMix() []MixEntry {
 type Config struct {
 	Seed int64 `json:"seed"` // arrival PRNG seed (0 → 1)
 
-	Spec        string `json:"spec"`          // TPU generation (default TPUv6e)
+	Spec        string `json:"spec"`          // device name from the cross registry (default TPUv6e)
 	Set         string `json:"set"`           // parameter-set letter (default "B")
 	Pods        int    `json:"pods"`          // fleet size M (default 4)
-	CoresPerPod int    `json:"cores_per_pod"` // cores per pod (default 1)
+	CoresPerPod int    `json:"cores_per_pod"` // cores/GPUs per fleet unit (default 1)
 
 	Policy string `json:"policy"` // dispatch policy (default round-robin)
 
@@ -152,8 +151,8 @@ func (cfg Config) withDefaults() Config {
 
 // validate rejects configurations the simulator cannot price.
 func (cfg Config) validate() error {
-	if _, ok := tpusim.SpecByName(cfg.Spec); !ok {
-		return fmt.Errorf("serve: unknown TPU spec %q", cfg.Spec)
+	if _, ok := cross.TargetInfoByName(cfg.Spec); !ok {
+		return fmt.Errorf("serve: unknown device %q (valid: %s)", cfg.Spec, cross.TargetNames())
 	}
 	if _, err := cross.NamedSet(cfg.Set); err != nil {
 		return fmt.Errorf("serve: %w", err)
@@ -258,7 +257,14 @@ type priceTable struct {
 // params, operator), so the resulting table is independent of the
 // worker count.
 func price(cfg Config) (*priceTable, error) {
-	spec, _ := tpusim.SpecByName(cfg.Spec)
+	// One probe target supplies the per-launch dispatch overhead the
+	// batching amortisation uses (XLA dispatch on TPUs, CUDA kernel
+	// launch on GPUs) — identical across a fleet of one part.
+	probe, err := cross.TargetByName(cfg.Spec, cfg.CoresPerPod)
+	if err != nil {
+		return nil, err
+	}
+	dispatchOverhead := probe.Core().Spec.DispatchOverhead
 	params, err := cross.NamedSet(cfg.Set)
 	if err != nil {
 		return nil, err
@@ -299,12 +305,12 @@ func price(cfg Config) (*priceTable, error) {
 				t := tasks[i]
 				// Targets are stateful trace accumulators, so every task
 				// builds its own; only the schedule cache is shared.
-				pod, err := tpusim.NewPod(spec, cfg.CoresPerPod)
+				tgt, err := cross.TargetByName(cfg.Spec, cfg.CoresPerPod)
 				if err != nil {
 					errs[i] = err
 					continue
 				}
-				comp, err := cross.Compile(pod, params)
+				comp, err := cross.Compile(tgt, params)
 				if err != nil {
 					errs[i] = err
 					continue
@@ -338,7 +344,7 @@ func price(cfg Config) (*priceTable, error) {
 	pt := &priceTable{base: make([]float64, len(cfg.Mix)), svc: raw}
 	for w := range cfg.Mix {
 		pt.base[w] = raw[w][0]
-		disp := float64(launches[w]) * spec.DispatchOverhead
+		disp := float64(launches[w]) * dispatchOverhead
 		if disp >= pt.base[w] {
 			disp = 0
 		}

@@ -395,3 +395,78 @@ func TestServeOverlapPricing(t *testing.T) {
 			overlapped.Requests, serial.Requests)
 	}
 }
+
+// TestServeGPUFleet prices a serving run on a GPU fleet through the
+// same pipeline as TPU fleets: the registry resolves the device, the
+// record schema is unchanged, and the run is deterministic. An H100
+// fleet must out-serve an equal A100-40GB fleet (strictly higher
+// capacity) since the part dominates on every roofline axis.
+func TestServeGPUFleet(t *testing.T) {
+	base := Config{
+		Seed:     11,
+		Spec:     "H100",
+		Set:      "B",
+		Pods:     2,
+		HorizonS: 0.02,
+		MaxBatch: 4,
+		Mix:      hemultOnly(),
+	}
+	h100, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h100.Requests == 0 || h100.Completed != h100.Requests {
+		t.Fatalf("GPU fleet served %d/%d requests", h100.Completed, h100.Requests)
+	}
+	if h100.CapacityRate <= 0 {
+		t.Fatalf("GPU fleet capacity %g, want positive", h100.CapacityRate)
+	}
+	if h100.Config.Spec != "H100" {
+		t.Errorf("echoed spec %q", h100.Config.Spec)
+	}
+
+	again, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(h100)
+	jb, _ := json.Marshal(again)
+	if string(ja) != string(jb) {
+		t.Error("GPU fleet record not deterministic across runs")
+	}
+
+	a100cfg := base
+	a100cfg.Spec = "A100-40GB"
+	a100, err := Run(a100cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h100.CapacityRate <= a100.CapacityRate {
+		t.Errorf("H100 fleet capacity %g req/s should exceed A100-40GB's %g",
+			h100.CapacityRate, a100.CapacityRate)
+	}
+}
+
+// TestServeMultiGPUNodes runs a fleet of 8-GPU NVLink nodes — the
+// CoresPerPod axis on the GPU backend — and checks collectives priced
+// into the service times still leave a well-formed record.
+func TestServeMultiGPUNodes(t *testing.T) {
+	r, err := Run(Config{
+		Seed:        3,
+		Spec:        "A100-80GB",
+		Pods:        2,
+		CoresPerPod: 8,
+		HorizonS:    0.02,
+		MaxBatch:    2,
+		Mix:         hemultOnly(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Requests == 0 || r.Completed != r.Requests {
+		t.Fatalf("served %d/%d requests", r.Completed, r.Requests)
+	}
+	if r.Latency.P99S < r.Latency.P50S || r.Latency.P50S <= 0 {
+		t.Errorf("degenerate latency distribution: %+v", r.Latency)
+	}
+}

@@ -1,8 +1,10 @@
 // Package sweep is the repo's scale-and-regression harness: a
 // worker-pool engine that lowers the full cross-product of
-// {parameter sets × TPU generations × pod core counts × workloads}
+// {parameter sets × registered devices × core counts × workloads}
 // concurrently and emits deterministic, stably-ordered records — the
 // machine-readable perf surface CI diffs on every push (DESIGN.md §9).
+// The device axis spans every part in the cross registry: the four TPU
+// generations and the gpusim GPU parts.
 //
 // Determinism contract: a Record is a pure function of its case (the
 // simulator is analytic — no clocks, no sampling), cases are
@@ -19,8 +21,12 @@ import (
 	"sync"
 
 	"cross/internal/cross"
-	"cross/internal/tpusim"
 	"cross/internal/workload"
+
+	// The GPU backend registers its parts into the cross device
+	// registry at init; importing it here puts them on the sweep's
+	// default device axis.
+	_ "cross/internal/gpusim"
 )
 
 // Workload names the sweep's workload axis. HE-Mult/Rotate/Bootstrap
@@ -50,8 +56,8 @@ var DefaultSets = []string{"A", "B", "C", "D"}
 // cross-product at Parallel = NumCPU.
 type Config struct {
 	Sets      []string `json:"sets,omitempty"`      // parameter sets ("A".."D")
-	Specs     []string `json:"specs,omitempty"`     // TPU generations (tpusim names)
-	Cores     []int    `json:"cores,omitempty"`     // pod core counts
+	Specs     []string `json:"specs,omitempty"`     // device names (cross registry)
+	Cores     []int    `json:"cores,omitempty"`     // core/GPU counts
 	Workloads []string `json:"workloads,omitempty"` // workload names
 
 	// Parallel is the worker count; ≤ 0 means runtime.NumCPU().
@@ -65,8 +71,11 @@ func (cfg Config) withDefaults() Config {
 		cfg.Sets = DefaultSets
 	}
 	if len(cfg.Specs) == 0 {
-		for _, s := range tpusim.AllSpecs() {
-			cfg.Specs = append(cfg.Specs, s.Name)
+		// Registration order: the four TPU generations in the paper's
+		// Tab. IV order, then the GPU parts — which keeps the 400
+		// pre-GPU record IDs at the same enumeration positions.
+		for _, info := range cross.RegisteredTargets() {
+			cfg.Specs = append(cfg.Specs, info.Name)
 		}
 	}
 	if len(cfg.Cores) == 0 {
@@ -86,13 +95,13 @@ func (cfg Config) withDefaults() Config {
 // JSON schema BENCH_baseline.json commits to (DESIGN.md §9).
 type Record struct {
 	ID          string             `json:"id"`            // "SetD/TPUv6e-8/MNIST"
-	Spec        string             `json:"spec"`          // TPU generation
-	Cores       int                `json:"cores"`         // pod size
+	Spec        string             `json:"spec"`          // device name (registry)
+	Cores       int                `json:"cores"`         // pod/node size
 	Params      string             `json:"params"`        // parameter-set name
 	Workload    string             `json:"workload"`      // workload name
 	TotalS      float64            `json:"total_s"`       // end-to-end modeled latency (serial model)
 	OverlappedS float64            `json:"overlapped_s"`  // overlap-aware latency (DAG makespan, ≤ total_s)
-	CollectiveS float64            `json:"collective_s"`  // ICI share of TotalS
+	CollectiveS float64            `json:"collective_s"`  // interconnect (ICI/NVLink) share of TotalS
 	Kernels     cross.KernelCounts `json:"kernel_counts"` // launch tallies
 }
 
@@ -143,23 +152,19 @@ func BuildProgram(c *cross.Compiler, wl string) (*cross.Program, error) {
 	}
 }
 
-// runCase lowers one case. Every case builds its own pod and compiler
-// (targets are stateful trace accumulators); only the schedule cache is
-// shared, so equivalent operators lower once process-wide.
+// runCase lowers one case. Every case builds its own target and
+// compiler (targets are stateful trace accumulators); only the schedule
+// cache is shared, so equivalent operators lower once process-wide.
 func runCase(c swcase, cache *cross.ScheduleCache) (Record, error) {
 	p, err := cross.NamedSet(c.set)
 	if err != nil {
 		return Record{}, err
 	}
-	spec, ok := tpusim.SpecByName(c.spec)
-	if !ok {
-		return Record{}, fmt.Errorf("sweep: unknown TPU spec %q", c.spec)
-	}
-	pod, err := tpusim.NewPod(spec, c.cores)
+	tgt, err := cross.TargetByName(c.spec, c.cores)
 	if err != nil {
 		return Record{}, err
 	}
-	comp, err := cross.Compile(pod, p)
+	comp, err := cross.Compile(tgt, p)
 	if err != nil {
 		return Record{}, err
 	}

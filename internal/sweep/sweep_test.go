@@ -64,8 +64,12 @@ func TestSweepShape(t *testing.T) {
 	if recs[0].ID != "SetA/TPUv4-1/HE-Mult" {
 		t.Errorf("first record %q: enumeration order changed", recs[0].ID)
 	}
+	// The device axis is the registry in registration order: TPUs in
+	// the paper's Tab. IV order, then the GPU parts — so the last TPU
+	// record keeps its pre-GPU position and the sweep ends on the
+	// newest GPU.
 	last := recs[len(recs)-1]
-	if last.ID != "SetD/TPUv6e-16/HELR" {
+	if last.ID != "SetD/H100-16/HELR" {
 		t.Errorf("last record %q: enumeration order changed", last.ID)
 	}
 	seen := make(map[string]bool, len(recs))

@@ -7,7 +7,11 @@ import (
 )
 
 // Category labels match the paper's Fig. 12 latency-breakdown legend so
-// that the profiler output can be compared side by side.
+// that the profiler output can be compared side by side. The vocabulary
+// is shared across hardware backends (tpusim, gpusim): every backend
+// charges the same compute categories so breakdowns compare across
+// hardware, and each interconnect charges its own collective label
+// (CatICI for the TPU fabric, CatNVLink for the GPU node fabric).
 const (
 	CatNTTMatMul   = "NTT-MatMul"
 	CatINTTMatMul  = "INTT-MatMul"
@@ -18,6 +22,7 @@ const (
 	CatCopyReshape = "Copy+Reshape"
 	CatHBM         = "HBM Traffic"
 	CatICI         = "ICI Collective"
+	CatNVLink      = "NVLink Collective"
 	CatOther       = "Other"
 )
 
@@ -67,6 +72,12 @@ func (t *Trace) Total() float64 {
 
 // Seconds returns the time charged to one category.
 func (t *Trace) Seconds(category string) float64 { return t.seconds[category] }
+
+// Categories returns the charged categories in first-charge order — the
+// deterministic iteration order map-based ByCategory cannot give.
+func (t *Trace) Categories() []string {
+	return append([]string(nil), t.order...)
+}
 
 // ByCategory returns a copy of the category map.
 func (t *Trace) ByCategory() map[string]float64 {
