@@ -46,6 +46,13 @@
 //     batching, and fleet dispatch across M pods — and returns one
 //     deterministic record of offered load, achieved throughput, pod
 //     utilization, queue depth, and tail latency (crossbench -serve).
+//   - Calibration layer: Calib pairs every measurable kernel latency
+//     (host wall clock plus the paper's published TPU/GPU figures)
+//     with the simulator's prediction for the same work, fits the
+//     model's free constants (Calibration) by deterministic least
+//     squares, and reports per-kernel model error; CalibDiff gates
+//     model drift against the committed BENCH_calib.json (crossbench
+//     -calib).
 //
 // See DESIGN.md (§ "Schedule IR & Targets") for the system inventory
 // and EXPERIMENTS.md for the reproduction results.
@@ -55,6 +62,7 @@ import (
 	"fmt"
 
 	"cross/internal/bat"
+	"cross/internal/calib"
 	"cross/internal/ckks"
 	icross "cross/internal/cross"
 	"cross/internal/gpusim"
@@ -82,6 +90,12 @@ type Device = tpusim.Device
 
 // DeviceSpec describes a TPU generation.
 type DeviceSpec = tpusim.Spec
+
+// Calibration holds the model's free constants — per-spec launch
+// overhead, effective-bandwidth fractions, NTT efficiency — carried on
+// DeviceSpec/GPUSpec. The zero value resolves to the hand-picked
+// defaults (bit-identical pricing); Calib fits them to ground truth.
+type Calibration = tpusim.Calibration
 
 // ReduceAlgorithm selects the modular-reduction flavour (Fig. 13).
 type ReduceAlgorithm = modarith.ReduceAlgorithm
@@ -522,6 +536,67 @@ func HostBench() ([]HostBenchRecord, error) { return hostbench.Run() }
 func HostBenchDiff(old, new []HostBenchRecord, threshold float64) HostBenchDiffResult {
 	return hostbench.Diff(old, new, threshold)
 }
+
+// HostBenchEnvironment captures the machine a host run was measured on
+// (CPU model, GOMAXPROCS, Go version, …); mismatches against a
+// baseline surface as diff warnings.
+type HostBenchEnvironment = hostbench.Environment
+
+// HostBenchFile is the BENCH_host.json schema: the measuring
+// environment plus the records.
+type HostBenchFile = hostbench.File
+
+// HostBenchRunFile measures the host kernels and stamps the current
+// environment — the content written to BENCH_host.json.
+func HostBenchRunFile() (HostBenchFile, error) { return hostbench.RunFile() }
+
+// HostBenchDiffFiles compares two host benchmark files: records as
+// HostBenchDiff, plus environment-mismatch warnings.
+func HostBenchDiffFiles(old, new HostBenchFile, threshold float64) HostBenchDiffResult {
+	return hostbench.DiffFiles(old, new, threshold)
+}
+
+// ---- Calibration / model-drift-gating layer ----
+
+// CalibConfig controls a calibration run (host measurement sizes and
+// repeats, fitter parallelism); the zero value is the default run.
+type CalibConfig = calib.Config
+
+// CalibRecord is one calibration point: a kernel's measured
+// ground-truth latency against the model's prediction under default
+// and fitted constants.
+type CalibRecord = calib.Record
+
+// CalibSpecFit is one spec's fitted constants with before/after model
+// error.
+type CalibSpecFit = calib.SpecFit
+
+// CalibReport is the committable BENCH_calib.json content: every
+// calibration record, every spec's fit, and the measuring environment.
+type CalibReport = calib.Report
+
+// CalibDiffResult is the classified comparison of two calibration
+// reports — the calib-gate's verdict.
+type CalibDiffResult = calib.DiffResult
+
+// Calib measures ground truth (host kernels timed here; published
+// TPU/GPU figures from the paper), prices the same work through the
+// roofline model, and least-squares fits each spec's free constants.
+// Published-source content is deterministic; host records vary with
+// the machine and are warning-gated only.
+func Calib(cfg CalibConfig) (*CalibReport, error) { return calib.Run(cfg) }
+
+// CalibDiff compares two calibration reports against the fractional
+// drift threshold. Its HasRegressions is the calib-gate condition:
+// published-record model-error growth or published-spec constant
+// drift fails; host drift and environment mismatches only warn.
+func CalibDiff(old, new *CalibReport, threshold float64) CalibDiffResult {
+	return calib.Diff(old, new, threshold)
+}
+
+// CalibKernels lists the kernel names Compiler.PredictKernel prices —
+// the model-side vocabulary matching the host benchmark suite.
+func CalibKernels() []string { return icross.CalibKernels() }
 
 // ---- Serving-simulator layer ----
 

@@ -338,6 +338,65 @@ func TestServeFacade(t *testing.T) {
 	}
 }
 
+func TestCalibFacade(t *testing.T) {
+	// PredictKernel prices every calibration kernel on any target, and
+	// a non-default Calibration changes the price.
+	c, err := Compile(NewDevice(TPUv6e()), SetB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(CalibKernels()) != 9 {
+		t.Fatalf("expected 9 calibration kernels, got %d", len(CalibKernels()))
+	}
+	for _, k := range CalibKernels() {
+		s, err := c.PredictKernel(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Total <= 0 {
+			t.Errorf("%s: non-positive predicted time", k)
+		}
+	}
+	spec := TPUv6e()
+	spec.Calib = Calibration{LaunchOverhead: 1e-4, HBMFraction: 0.5, VMEMFraction: 0.5, NTTEfficiency: 0.5}
+	slow, err := Compile(NewDevice(spec), SetB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sDefault, _ := c.PredictKernel("ntt_inplace")
+	sSlow, _ := slow.PredictKernel("ntt_inplace")
+	if sSlow.Total <= sDefault.Total {
+		t.Errorf("derated calibration did not slow the model: %g <= %g", sSlow.Total, sDefault.Total)
+	}
+
+	// CalibDiff gates injected model drift on a published record.
+	mk := func() *CalibReport {
+		return &CalibReport{Records: []CalibRecord{
+			{ID: "TPUv4/ntt_throughput/N4096", Spec: "TPUv4", Source: "published", RelErrFitted: 0.05},
+		}}
+	}
+	old, cur := mk(), mk()
+	cur.Records[0].RelErrFitted = 0.40
+	if d := CalibDiff(old, cur, 0.10); !d.HasRegressions() {
+		t.Error("injected model drift not gated")
+	}
+	if d := CalibDiff(old, mk(), 0.10); d.HasRegressions() {
+		t.Error("self-diff not clean")
+	}
+
+	// Host-file diffing surfaces environment mismatches as warnings.
+	recs := []HostBenchRecord{{ID: "ntt_inplace/N8192", NsPerOp: 100}}
+	a := HostBenchFile{Env: HostBenchEnvironment{GoVersion: "go1.23.0"}, Records: recs}
+	b := HostBenchFile{Env: HostBenchEnvironment{GoVersion: "go1.24.0"}, Records: recs}
+	d := HostBenchDiffFiles(a, b, 0.25)
+	if d.HasRegressions() {
+		t.Error("env mismatch must not gate")
+	}
+	if len(d.EnvWarnings) == 0 {
+		t.Error("expected an environment warning")
+	}
+}
+
 func TestGPUBackendFacade(t *testing.T) {
 	// Registry: any registered name instantiates through one call.
 	if !strings.Contains(TargetNames(), "H100") || !strings.Contains(TargetNames(), "TPUv6e") {

@@ -26,6 +26,11 @@
 //	crossbench -hostbench                     # measure host kernels (real ns/op + allocs/op)
 //	crossbench -hostbench -compare BENCH_host.json -threshold 0.25  # wall-clock gate
 //	crossbench -hostbench -compare BENCH_host.json -out hostbench.json
+//	crossbench -calib                         # calibration: fit the model's free constants to ground truth
+//	crossbench -calib -compare BENCH_calib.json -threshold 0.10     # model-drift gate
+//	crossbench -calib -compare BENCH_calib.json -out calib.json
+//	crossbench -calib -repeats 9 -parallel 8  # more timing samples, wider fitter pool
+//	crossbench -refresh-baselines             # rewrite BENCH_baseline/BENCH_host/BENCH_calib .json in one run
 //	crossbench -serve                         # serving simulator: 4-pod fleet at 70% capacity
 //	crossbench -serve -rate 2000 -pods 8 -policy jsq -json
 //	crossbench -serve -device TPUv4 -set A -batch 8 -delay 0.001 -horizon 0.5
@@ -48,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -81,42 +87,66 @@ func readBaseline(path string) ([]cross.SweepRecord, error) {
 }
 
 // readHostBaseline loads a committed host benchmark (BENCH_host.json).
-func readHostBaseline(path string) ([]cross.HostBenchRecord, error) {
+// Both schemas parse: the current File form ({"env": …, "records": …})
+// and the legacy bare record array, which diffs with no environment
+// metadata (every env check skips).
+func readHostBaseline(path string) (cross.HostBenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return cross.HostBenchFile{}, err
+	}
+	var file cross.HostBenchFile
+	if err := json.Unmarshal(data, &file); err == nil && len(file.Records) > 0 {
+		return file, nil
+	}
+	var recs []cross.HostBenchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return cross.HostBenchFile{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(recs) == 0 {
+		return cross.HostBenchFile{}, fmt.Errorf("%s holds no host benchmark records", path)
+	}
+	return cross.HostBenchFile{Records: recs}, nil
+}
+
+// readCalibBaseline loads a committed calibration report
+// (BENCH_calib.json).
+func readCalibBaseline(path string) (*cross.CalibReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var recs []cross.HostBenchRecord
-	if err := json.Unmarshal(data, &recs); err != nil {
+	var rep cross.CalibReport
+	if err := json.Unmarshal(data, &rep); err != nil {
 		return nil, fmt.Errorf("parse %s: %w", path, err)
 	}
-	if len(recs) == 0 {
-		return nil, fmt.Errorf("%s holds no host benchmark records", path)
+	if len(rep.Records) == 0 {
+		return nil, fmt.Errorf("%s holds no calibration records", path)
 	}
-	return recs, nil
+	return &rep, nil
 }
 
 // runHostBench handles -hostbench (optionally with -compare/-out):
 // measure the host kernels, write/print the records, and when a
 // baseline is given diff against it, exiting 1 on regression.
 func runHostBench(compare string, threshold float64, out string, asJSON bool) {
-	recs, err := cross.HostBench()
+	file, err := cross.HostBenchRunFile()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crossbench:", err)
 		os.Exit(1)
 	}
 	if out != "" {
-		if err := writeJSON(out, recs); err != nil {
+		if err := writeJSON(out, file); err != nil {
 			fmt.Fprintln(os.Stderr, "crossbench:", err)
 			os.Exit(1)
 		}
 	}
 	if compare == "" {
 		if asJSON {
-			emitJSON(recs)
+			emitJSON(file)
 			return
 		}
-		for _, r := range recs {
+		for _, r := range file.Records {
 			fmt.Printf("%-28s %12.0f ns/op %8.3g allocs/op\n", r.ID, r.NsPerOp, r.AllocsPerOp)
 		}
 		return
@@ -126,7 +156,7 @@ func runHostBench(compare string, threshold float64, out string, asJSON bool) {
 		fmt.Fprintln(os.Stderr, "crossbench:", err)
 		os.Exit(1)
 	}
-	diff := cross.HostBenchDiff(baseline, recs, threshold)
+	diff := cross.HostBenchDiffFiles(baseline, file, threshold)
 	if asJSON {
 		emitJSON(diff)
 	} else {
@@ -135,6 +165,91 @@ func runHostBench(compare string, threshold float64, out string, asJSON bool) {
 	if diff.HasRegressions() {
 		os.Exit(1)
 	}
+}
+
+// runCalib handles -calib (optionally with -compare/-out): run the
+// calibration harness, write/print the report, and when a baseline is
+// given diff against it, exiting 1 on model drift.
+func runCalib(compare string, threshold float64, cfg cross.CalibConfig, out string, asJSON bool) {
+	rep, err := cross.Calib(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crossbench:", err)
+		os.Exit(1)
+	}
+	if out != "" {
+		if err := writeJSON(out, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "crossbench:", err)
+			os.Exit(1)
+		}
+	}
+	if compare == "" {
+		if asJSON {
+			emitJSON(rep)
+			return
+		}
+		fmt.Print(rep.Summary())
+		return
+	}
+	baseline, err := readCalibBaseline(compare)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crossbench:", err)
+		os.Exit(1)
+	}
+	diff := cross.CalibDiff(baseline, rep, threshold)
+	if asJSON {
+		emitJSON(diff)
+	} else {
+		fmt.Print(diff.Summary())
+	}
+	if diff.HasRegressions() {
+		os.Exit(1)
+	}
+}
+
+// runRefreshBaselines rewrites all three committed baselines from one
+// fresh run — the single documented workflow for intentional model or
+// hardware changes (DESIGN.md §15).
+func runRefreshBaselines(parallel, repeats int) {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "crossbench:", err)
+		os.Exit(1)
+	}
+	recs, err := cross.Sweep(cross.SweepConfig{Parallel: parallel})
+	if err != nil {
+		fail(err)
+	}
+	if err := writeJSON("BENCH_baseline.json", recs); err != nil {
+		fail(err)
+	}
+	fmt.Printf("BENCH_baseline.json  %d sweep record(s)\n", len(recs))
+
+	file, err := cross.HostBenchRunFile()
+	if err != nil {
+		fail(err)
+	}
+	if err := writeJSON("BENCH_host.json", file); err != nil {
+		fail(err)
+	}
+	fmt.Printf("BENCH_host.json      %d host record(s), %s\n", len(file.Records), file.Env.CPUModel)
+
+	rep, err := cross.Calib(cross.CalibConfig{Repeats: repeats, Parallel: fitWorkers(parallel)})
+	if err != nil {
+		fail(err)
+	}
+	if err := writeJSON("BENCH_calib.json", rep); err != nil {
+		fail(err)
+	}
+	fmt.Printf("BENCH_calib.json     %d calibration record(s)\n", len(rep.Records))
+	fmt.Print(rep.Summary())
+}
+
+// fitWorkers maps the -parallel convention (0 = NumCPU) onto the
+// calibration fitter's worker count.
+func fitWorkers(parallel int) int {
+	if parallel == 0 {
+		return runtime.NumCPU()
+	}
+	return parallel
 }
 
 // parseMix parses "-mix HE-Mult=0.6,Rotate=0.3,MNIST=0.1" into the
@@ -199,6 +314,9 @@ func main() {
 	versus := flag.String("versus", "", `cross-hardware comparison: comma-separated targets ("TPUv6e-16,H100-8"), priced on every workload`)
 	sweepMode := flag.Bool("sweep", false, "run the full cross-product perf sweep")
 	hostbenchMode := flag.Bool("hostbench", false, "measure host kernels (real ns/op + allocs/op); with -compare, diff against a BENCH_host.json baseline")
+	calibMode := flag.Bool("calib", false, "run the calibration harness: measure ground truth, fit the model's free constants, report per-kernel model error; with -compare, gate model drift against a BENCH_calib.json baseline")
+	repeats := flag.Int("repeats", 0, "calib: raw timing samples per host measurement point (default 5)")
+	refreshBaselines := flag.Bool("refresh-baselines", false, "rewrite all three committed baselines (BENCH_baseline.json, BENCH_host.json, BENCH_calib.json) from one fresh run")
 	serveMode := flag.Bool("serve", false, "run the discrete-event serving simulator")
 	rate := flag.Float64("rate", 0, "serve: offered load in requests/s (0 = 70% of fleet capacity)")
 	pods := flag.Int("pods", 0, "serve: fleet size in pods (default 4)")
@@ -214,12 +332,12 @@ func main() {
 	compare := flag.String("compare", "", "run a fresh sweep (or host benchmark with -hostbench) and diff it against a baseline JSON file; exit 1 on regression")
 	metric := flag.String("metric", "all", "sweep -compare: gate on one latency column — total, overlapped, or all")
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = NumCPU); output is identical at every value")
-	threshold := flag.Float64("threshold", 0.005, "fractional regression threshold for -compare (0.005 = 0.5%; -hostbench defaults to 0.25)")
+	threshold := flag.Float64("threshold", 0.005, "fractional regression threshold for -compare (0.005 = 0.5%; -hostbench defaults to 0.25, -calib to 0.10)")
 	out := flag.String("out", "", "also write the fresh records JSON to this file (-sweep, -hostbench or -compare); lets CI keep the artifact without running the measurement twice")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of formatted tables")
 	flag.Parse()
 
-	deviceSet, thresholdSet, parallelSet, outSet, metricSet, setSet := false, false, false, false, false, false
+	deviceSet, thresholdSet, parallelSet, outSet, metricSet, setSet, repeatsSet := false, false, false, false, false, false, false
 	serveFlagSet := ""
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -235,20 +353,23 @@ func main() {
 			metricSet = true
 		case "set":
 			setSet = true
+		case "repeats":
+			repeatsSet = true
 		case "rate", "pods", "cores", "policy", "seed", "horizon", "batch", "delay", "mix", "overlap":
 			serveFlagSet = f.Name
 		}
 	})
-	// -hostbench pairs with -compare (the wall-clock gate); every other
-	// top-level mode is mutually exclusive.
+	// -hostbench and -calib pair with -compare (their respective gates);
+	// every other top-level mode is mutually exclusive.
 	exclusive := 0
-	for _, on := range []bool{*scaling, *sweepMode, *hostbenchMode, *serveMode, *compare != "" && !*hostbenchMode, *list, *experiment != "", *versus != ""} {
+	for _, on := range []bool{*scaling, *sweepMode, *hostbenchMode, *calibMode, *refreshBaselines, *serveMode,
+		*compare != "" && !*hostbenchMode && !*calibMode, *list, *experiment != "", *versus != ""} {
 		if on {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		fmt.Fprintln(os.Stderr, "crossbench: -scaling, -sweep, -hostbench, -serve, -compare, -versus, -list and -experiment are mutually exclusive (except -hostbench -compare)")
+		fmt.Fprintln(os.Stderr, "crossbench: -scaling, -sweep, -hostbench, -calib, -refresh-baselines, -serve, -compare, -versus, -list and -experiment are mutually exclusive (except -hostbench/-calib with -compare)")
 		os.Exit(1)
 	}
 	if deviceSet && !*scaling && !*serveMode {
@@ -263,19 +384,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "crossbench: -threshold only applies to -compare")
 		os.Exit(1)
 	}
-	if parallelSet && (*hostbenchMode || (!*sweepMode && !*serveMode && *compare == "")) {
-		fmt.Fprintln(os.Stderr, "crossbench: -parallel only applies to -sweep, -serve and sweep -compare")
+	if parallelSet && (*hostbenchMode || (!*sweepMode && !*serveMode && !*calibMode && !*refreshBaselines && *compare == "")) {
+		fmt.Fprintln(os.Stderr, "crossbench: -parallel only applies to -sweep, -serve, -calib, -refresh-baselines and sweep -compare")
 		os.Exit(1)
 	}
-	if outSet && !*sweepMode && !*hostbenchMode && !*serveMode && *compare == "" && *versus == "" {
-		fmt.Fprintln(os.Stderr, "crossbench: -out only applies to -sweep, -hostbench, -serve, -compare and -versus")
+	if outSet && !*sweepMode && !*hostbenchMode && !*calibMode && !*serveMode && *compare == "" && *versus == "" {
+		fmt.Fprintln(os.Stderr, "crossbench: -out only applies to -sweep, -hostbench, -calib, -serve, -compare and -versus")
+		os.Exit(1)
+	}
+	if repeatsSet && !*calibMode && !*refreshBaselines {
+		fmt.Fprintln(os.Stderr, "crossbench: -repeats only applies to -calib and -refresh-baselines")
 		os.Exit(1)
 	}
 	if serveFlagSet != "" && !*serveMode {
 		fmt.Fprintf(os.Stderr, "crossbench: -%s only applies to -serve\n", serveFlagSet)
 		os.Exit(1)
 	}
-	if metricSet && (*compare == "" || *hostbenchMode) {
+	if metricSet && (*compare == "" || *hostbenchMode || *calibMode) {
 		fmt.Fprintln(os.Stderr, "crossbench: -metric only applies to sweep -compare")
 		os.Exit(1)
 	}
@@ -318,6 +443,21 @@ func main() {
 			th = 0.25 // generous: shared CI runners are noisy
 		}
 		runHostBench(*compare, th, *out, *asJSON)
+		return
+	}
+
+	if *calibMode {
+		th := *threshold
+		if !thresholdSet {
+			th = 0.10 // published-source drift is deterministic; 10% absolute model-error growth gates
+		}
+		cfg := cross.CalibConfig{Repeats: *repeats, Parallel: fitWorkers(*parallel)}
+		runCalib(*compare, th, cfg, *out, *asJSON)
+		return
+	}
+
+	if *refreshBaselines {
+		runRefreshBaselines(*parallel, *repeats)
 		return
 	}
 

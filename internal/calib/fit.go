@@ -1,0 +1,208 @@
+package calib
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"cross/internal/tpusim"
+)
+
+// FitMask selects which calibration constants a fit is allowed to
+// vary. A spec with few measured points fits a reduced mask (the rule
+// below: at least as many distinct points as varied constants), the
+// rest staying at their defaults.
+type FitMask struct {
+	Launch bool `json:"launch"`
+	HBM    bool `json:"hbm"`
+	VMEM   bool `json:"vmem"`
+	NTT    bool `json:"ntt"`
+}
+
+// AllConstants varies every calibration constant.
+func AllConstants() FitMask { return FitMask{Launch: true, HBM: true, VMEM: true, NTT: true} }
+
+// Count returns the number of varied constants.
+func (m FitMask) Count() int {
+	n := 0
+	for _, b := range []bool{m.Launch, m.HBM, m.VMEM, m.NTT} {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// FitResult is one spec's fitted constants with the before/after
+// objective (sum of squared relative errors) that proves the fit
+// helped.
+type FitResult struct {
+	Defaults  tpusim.Calibration `json:"defaults"`
+	Constants tpusim.Calibration `json:"constants"`
+	ObjBefore float64            `json:"objective_before"`
+	ObjAfter  float64            `json:"objective_after"`
+}
+
+// fitSpans are the per-pass neighbourhood half-widths of the
+// coarse-to-fine grid search: each pass scans {s⁻², s⁻¹, 1, s, s²}
+// multipliers per varied constant around the incumbent, so the search
+// covers 16× down to ±19% in four deterministic passes.
+var fitSpans = []float64{4, 2, math.Sqrt2, 1.189207115002721}
+
+// fitGridRadius is the half-width of each pass's multiplier grid
+// (multipliers span s^-radius … s^+radius).
+const fitGridRadius = 2
+
+// fitBoundRange bounds every fitted constant to
+// [default/fitBoundRange, default×fitBoundRange]: the constants are
+// corrections to nominal figures, and an unbounded multiplicative walk
+// otherwise compounds across passes into physically meaningless values
+// (an "effective bandwidth fraction" of 181 just deletes the memory
+// term from the roofline). The model's structural error — e.g. a
+// too-shallow latency-vs-degree slope — must stay visible as residual
+// error, not vanish into corner constants.
+const fitBoundRange = 8.0
+
+// Fit least-squares fits the masked calibration constants of one spec
+// against measured latencies: it minimises Σ ((pred−meas)/meas)² — the
+// scale-free relative-error objective, so a 2× overshoot on a 100 ns
+// kernel weighs the same as on a 100 ms bootstrap, and the RMS of the
+// minimised quantity is exactly the relative model error the report
+// headlines — by deterministic coarse-to-fine multiplicative grid
+// search around the defaults.
+//
+// predict prices every measured point under a candidate calibration
+// (same order and length as meas, strictly positive). It must be safe
+// for concurrent calls: candidates are evaluated on `parallel` workers,
+// objectives land in an indexed slice, and the argmin scan is serial
+// with a first-index tie-break — the result is bit-identical across
+// runs and across any worker count.
+//
+// The defaults are always a candidate (the identity multiplier), so
+// ObjAfter ≤ ObjBefore by construction: fitting can only help.
+//
+// Degenerate inputs error cleanly: fewer points than varied constants
+// (the system is underdetermined), an empty mask, non-positive or
+// non-finite measurements, and non-positive predictions all fail
+// rather than fit garbage.
+func Fit(defaults tpusim.Calibration, mask FitMask, meas []float64,
+	predict func(tpusim.Calibration) ([]float64, error), parallel int) (FitResult, error) {
+	k := mask.Count()
+	if k == 0 {
+		return FitResult{}, fmt.Errorf("calib: empty fit mask — nothing to fit")
+	}
+	if len(meas) < k {
+		return FitResult{}, fmt.Errorf("calib: %d measured point(s) cannot determine %d constant(s)", len(meas), k)
+	}
+	for i, v := range meas {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return FitResult{}, fmt.Errorf("calib: measured point %d is %v, want a positive finite latency", i, v)
+		}
+	}
+	if defaults.LaunchOverhead <= 0 || defaults.HBMFraction <= 0 ||
+		defaults.VMEMFraction <= 0 || defaults.NTTEfficiency <= 0 {
+		return FitResult{}, fmt.Errorf("calib: defaults %+v are not fully resolved", defaults)
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+
+	objective := func(c tpusim.Calibration) (float64, error) {
+		pred, err := predict(c)
+		if err != nil {
+			return 0, err
+		}
+		if len(pred) != len(meas) {
+			return 0, fmt.Errorf("calib: predictor returned %d point(s) for %d measurement(s)", len(pred), len(meas))
+		}
+		obj := 0.0
+		for i, p := range pred {
+			if !(p > 0) || math.IsInf(p, 0) {
+				return 0, fmt.Errorf("calib: predicted point %d is %v under %+v", i, p, c)
+			}
+			d := p/meas[i] - 1
+			obj += d * d
+		}
+		return obj, nil
+	}
+
+	objBefore, err := objective(defaults)
+	if err != nil {
+		return FitResult{}, err
+	}
+	best, bestObj := defaults, objBefore
+
+	for _, span := range fitSpans {
+		cands := neighborhood(best, defaults, mask, span)
+		objs := make([]float64, len(cands))
+		errs := make([]error, len(cands))
+
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < parallel; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					objs[i], errs[i] = objective(cands[i])
+				}
+			}()
+		}
+		for i := range cands {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+
+		// Serial argmin with strict < : the first-enumerated candidate
+		// wins ties, independent of worker scheduling.
+		for i := range cands {
+			if errs[i] != nil {
+				return FitResult{}, errs[i]
+			}
+			if objs[i] < bestObj {
+				best, bestObj = cands[i], objs[i]
+			}
+		}
+	}
+	return FitResult{Defaults: defaults, Constants: best, ObjBefore: objBefore, ObjAfter: bestObj}, nil
+}
+
+// neighborhood enumerates the full multiplier cross-product around the
+// incumbent for the masked constants, in a fixed order (Launch, HBM,
+// VMEM, NTT varying fastest-to-slowest) — the deterministic candidate
+// stream the argmin's first-index tie-break is defined over. The
+// identity multiplier is part of every axis, so the incumbent itself
+// is always a candidate, and every value clamps to the bounded window
+// around the defaults (fitBoundRange).
+func neighborhood(base, defaults tpusim.Calibration, mask FitMask, span float64) []tpusim.Calibration {
+	muls := make([]float64, 0, 2*fitGridRadius+1)
+	for e := -fitGridRadius; e <= fitGridRadius; e++ {
+		muls = append(muls, math.Pow(span, float64(e)))
+	}
+	axis := func(on bool) []float64 {
+		if on {
+			return muls
+		}
+		return []float64{1}
+	}
+	clamp := func(v, def float64) float64 {
+		return math.Min(math.Max(v, def/fitBoundRange), def*fitBoundRange)
+	}
+	var out []tpusim.Calibration
+	for _, ml := range axis(mask.Launch) {
+		for _, mh := range axis(mask.HBM) {
+			for _, mv := range axis(mask.VMEM) {
+				for _, mn := range axis(mask.NTT) {
+					out = append(out, tpusim.Calibration{
+						LaunchOverhead: clamp(base.LaunchOverhead*ml, defaults.LaunchOverhead),
+						HBMFraction:    clamp(base.HBMFraction*mh, defaults.HBMFraction),
+						VMEMFraction:   clamp(base.VMEMFraction*mv, defaults.VMEMFraction),
+						NTTEfficiency:  clamp(base.NTTEfficiency*mn, defaults.NTTEfficiency),
+					})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"cross/internal/tpusim"
+)
+
+// synthModel is a separable four-term model whose global optimum is
+// exactly the planted constants: every point costs
+// a·Launch + b/HBM + c/VMEM + d/NTT.
+type synthModel struct {
+	feats [][4]float64
+}
+
+func (m synthModel) predict(c tpusim.Calibration) ([]float64, error) {
+	out := make([]float64, len(m.feats))
+	for i, f := range m.feats {
+		out[i] = f[0]*c.LaunchOverhead*1e9 + f[1]/c.HBMFraction + f[2]/c.VMEMFraction + f[3]/c.NTTEfficiency
+	}
+	return out, nil
+}
+
+func synth() synthModel {
+	return synthModel{feats: [][4]float64{
+		{1, 0, 0, 0}, {0, 100, 0, 0}, {0, 0, 100, 0}, {0, 0, 0, 100},
+		{1, 50, 0, 0}, {0, 30, 30, 0}, {1, 0, 0, 200}, {2, 10, 80, 40},
+	}}
+}
+
+var synthDefaults = tpusim.Calibration{LaunchOverhead: 1e-6, HBMFraction: 1, VMEMFraction: 1, NTTEfficiency: 1}
+
+// The fitter must be bit-identical across repeated runs and across any
+// worker count — the determinism contract that keeps BENCH_calib.json
+// diffable.
+func TestFitDeterministicAcrossRunsAndWorkers(t *testing.T) {
+	m := synth()
+	planted := tpusim.Calibration{LaunchOverhead: 2.3e-6, HBMFraction: 0.6, VMEMFraction: 1.7, NTTEfficiency: 0.8}
+	meas, err := m.predict(planted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first FitResult
+	for i, workers := range []int{1, 1, 4, 8} {
+		fr, err := Fit(synthDefaults, AllConstants(), meas, m.predict, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = fr
+			continue
+		}
+		if fr != first {
+			t.Fatalf("workers=%d: result %+v differs from first run %+v (must be bit-identical)", workers, fr, first)
+		}
+	}
+}
+
+// Planting constants and fitting from offset defaults must recover
+// them within the grid resolution, and must never fit worse than the
+// defaults.
+func TestFitRecoversPlantedConstants(t *testing.T) {
+	m := synth()
+	planted := tpusim.Calibration{LaunchOverhead: 2e-6, HBMFraction: 0.5, VMEMFraction: 2, NTTEfficiency: 0.71}
+	meas, err := m.predict(planted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := Fit(synthDefaults, AllConstants(), meas, m.predict, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.ObjAfter > fr.ObjBefore {
+		t.Fatalf("fit made the objective worse: %v > %v", fr.ObjAfter, fr.ObjBefore)
+	}
+	within := func(name string, got, want float64) {
+		if r := got / want; r < 1/1.5 || r > 1.5 {
+			t.Errorf("%s = %v, want within 1.5× of planted %v", name, got, want)
+		}
+	}
+	within("LaunchOverhead", fr.Constants.LaunchOverhead, planted.LaunchOverhead)
+	within("HBMFraction", fr.Constants.HBMFraction, planted.HBMFraction)
+	within("VMEMFraction", fr.Constants.VMEMFraction, planted.VMEMFraction)
+	within("NTTEfficiency", fr.Constants.NTTEfficiency, planted.NTTEfficiency)
+	if fr.ObjAfter > 0.1 {
+		t.Errorf("residual objective %v, want near zero for a realisable model", fr.ObjAfter)
+	}
+}
+
+// When the defaults already explain the data exactly, the fit must
+// keep them (the default candidate always participates).
+func TestFitKeepsPerfectDefaults(t *testing.T) {
+	m := synth()
+	meas, err := m.predict(synthDefaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := Fit(synthDefaults, AllConstants(), meas, m.predict, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.ObjAfter != 0 {
+		t.Fatalf("ObjAfter = %v, want exactly 0", fr.ObjAfter)
+	}
+	if fr.Constants != synthDefaults {
+		t.Fatalf("constants drifted from perfect defaults: %+v", fr.Constants)
+	}
+}
+
+// Fitted constants must respect the bounded window around defaults.
+func TestFitRespectsBounds(t *testing.T) {
+	// A model the constants cannot explain: predictions 1000× too
+	// slow. The fit would love NTTEfficiency → ∞; the bound stops it.
+	predict := func(c tpusim.Calibration) ([]float64, error) {
+		return []float64{1000 / c.NTTEfficiency, 2000 / c.NTTEfficiency, 4000 / c.NTTEfficiency, 8000 / c.NTTEfficiency}, nil
+	}
+	meas := []float64{1, 2, 4, 8}
+	fr, err := Fit(synthDefaults, AllConstants(), meas, predict, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fr.Constants.NTTEfficiency; got > fitBoundRange*synthDefaults.NTTEfficiency+1e-12 {
+		t.Fatalf("NTTEfficiency %v escaped the ±%v× bound", got, fitBoundRange)
+	}
+	if got := fr.Constants.NTTEfficiency; math.Abs(got-fitBoundRange) > 1e-9 {
+		t.Fatalf("NTTEfficiency = %v, want pinned at the %v bound", got, fitBoundRange)
+	}
+}
+
+// Degenerate inputs must error cleanly, never fit garbage.
+func TestFitDegenerateInputs(t *testing.T) {
+	m := synth()
+	ok := func(c tpusim.Calibration) ([]float64, error) { return m.predict(c) }
+	cases := []struct {
+		name    string
+		mask    FitMask
+		meas    []float64
+		predict func(tpusim.Calibration) ([]float64, error)
+	}{
+		{"empty mask", FitMask{}, []float64{1, 2, 3, 4, 5, 6, 7, 8}, ok},
+		{"single point, four constants", AllConstants(), []float64{1}, ok},
+		{"no points", AllConstants(), nil, ok},
+		{"zero measurement", AllConstants(), []float64{1, 0, 3, 4, 5, 6, 7, 8}, ok},
+		{"negative measurement", AllConstants(), []float64{1, -2, 3, 4, 5, 6, 7, 8}, ok},
+		{"NaN measurement", AllConstants(), []float64{1, math.NaN(), 3, 4, 5, 6, 7, 8}, ok},
+		{"non-positive prediction", AllConstants(), []float64{1, 2, 3, 4, 5, 6, 7, 8},
+			func(tpusim.Calibration) ([]float64, error) {
+				return []float64{0, 0, 0, 0, 0, 0, 0, 0}, nil
+			}},
+		{"short prediction", AllConstants(), []float64{1, 2, 3, 4, 5, 6, 7, 8},
+			func(tpusim.Calibration) ([]float64, error) { return []float64{1}, nil }},
+	}
+	for _, c := range cases {
+		if _, err := Fit(synthDefaults, c.mask, c.meas, c.predict, 1); err == nil {
+			t.Errorf("%s: expected an error", c.name)
+		}
+	}
+	// Unresolved defaults (zero fields) must be rejected too.
+	if _, err := Fit(tpusim.Calibration{}, AllConstants(), []float64{1, 2, 3, 4}, ok, 1); err == nil {
+		t.Error("unresolved defaults: expected an error")
+	}
+	// A single point CAN determine a single constant.
+	one := func(c tpusim.Calibration) ([]float64, error) { return []float64{100 / c.NTTEfficiency}, nil }
+	if _, err := Fit(synthDefaults, FitMask{NTT: true}, []float64{50}, one, 1); err != nil {
+		t.Errorf("one point, one constant must fit: %v", err)
+	}
+}
+
+// The real published-GPU group must fit bit-identically at every
+// worker count — the end-to-end determinism the CI gate relies on
+// (host points are measured, but published groups must never wobble).
+func TestGPUGroupFitDeterministic(t *testing.T) {
+	g := gpuGroup()
+	meas := make([]float64, len(g.points))
+	for i, pt := range g.points {
+		meas[i] = pt.meas
+	}
+	var first FitResult
+	for i, workers := range []int{1, 8} {
+		fr, err := Fit(g.defaults, g.mask, meas, g.predict, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = fr
+		} else if fr != first {
+			t.Fatalf("workers=%d: %+v differs from %+v", workers, fr, first)
+		}
+	}
+	if first.ObjAfter > first.ObjBefore {
+		t.Fatalf("fitting the A100 made the objective worse")
+	}
+	// The unmasked constant must keep its default.
+	if first.Constants.VMEMFraction != g.defaults.VMEMFraction {
+		t.Fatalf("VMEM fraction moved despite an unmasked axis: %v", first.Constants.VMEMFraction)
+	}
+}

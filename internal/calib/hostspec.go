@@ -1,0 +1,53 @@
+package calib
+
+import "cross/internal/tpusim"
+
+// HostSpec models the CI host CPU as a roofline Spec, so the same
+// Schedule-IR lowerings that price TPU kernels can price the kernels
+// hostbench actually measures. The host is the one machine where
+// ground truth is free — internal/hostbench times the real Go kernels
+// — which makes it the densest calibration source: every measured
+// point here exercises the same code paths (dispatch constant, VPU op
+// counts, VMEM round-trips) the TPU predictions depend on.
+//
+// The nominal figures below are deliberately round, generic
+// server-CPU-class numbers (one core, scalar-ish SIMD, cache-resident
+// working sets). They do NOT need to be accurate: they are the
+// *defaults* the fitter starts from, and internal/calib's job is to
+// replace the free constants (launch overhead, effective-bandwidth
+// fractions, compute efficiency) with fitted values; the fixed shape
+// parameters (lane counts, tile sizes) only set the model's structure.
+func HostSpec() tpusim.Spec {
+	return tpusim.Spec{
+		Name:    "host-cpu",
+		MXUDim:  8, // SIMD-width matmul tile; the CPU has no systolic array
+		NumMXUs: 1,
+		// ~2 GMAC/s: a scalar 64-bit modular-multiply loop.
+		PeakMACs: 2e9,
+		// One scalar "vector unit": 4-wide × 1, ~12 Gop/s at 3 GHz.
+		VPULanes:    4,
+		VPUSublanes: 1,
+		VPUOps:      1.2e10,
+		ClockHz:     3e9,
+		// Memory: streaming DRAM plays HBM; L1/L2-resident working sets
+		// play VMEM (the benchmark buffers are tens of KB and Go
+		// kernels fuse their stages, so per-stage round-trips mostly
+		// hit cache).
+		HBMBandwidth:        5e10,
+		VMEMReadBW:          3e11,
+		VMEMWriteBW:         1.5e11,
+		OnChipCapacity:      32 << 20,
+		XLUElemsPerCycle:    4,
+		GatherElemsPerCycle: 1,
+		// Go kernels keep intermediates in registers — no XLA
+		// materialisation derate.
+		VPUDerate: 1,
+		// A function call plays the kernel launch (~100 ns covers the
+		// call plus the per-call slice-header bookkeeping).
+		DispatchOverhead: 1e-7,
+		WattsPerCore:     65,
+		// No interconnect: single core, collectives never charge.
+		ICIBandwidth: 1e10,
+		ICILatency:   1e-6,
+	}
+}

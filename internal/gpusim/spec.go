@@ -111,6 +111,16 @@ type Spec struct {
 	// boards) — the representative core count registry metadata and
 	// cross-hardware tables use.
 	NodeGPUs int
+
+	// Calib carries the model's fitted free constants, shared with the
+	// TPU backend (tpusim.Calibration): per-launch overhead, effective
+	// HBM/on-chip bandwidth fractions, NTT compute efficiency. The zero
+	// value is the identity (KernelLaunch as-is, every figure at peak),
+	// so an uncalibrated GPU spec prices bit-identically to the
+	// pre-calibration model; CoreSpec threads the field through to the
+	// shared roofline. Fitted values come from internal/calib, which
+	// fits against published GPU kernel figures (internal/refdata).
+	Calib tpusim.Calibration
 }
 
 // A100_40GB returns the A100-SXM4-40GB model on a directly-bridged
@@ -239,5 +249,13 @@ func (s Spec) CoreSpec() tpusim.Spec {
 		WattsPerCore:        s.WattsPerGPU,
 		ICIBandwidth:        s.NVLinkBandwidth,
 		ICILatency:          s.NVLinkLatency,
+		Calib:               s.Calib,
 	}
+}
+
+// WithCalibration returns a copy of the spec carrying the given
+// calibration — the hook the fitter uses to price candidate constants.
+func (s Spec) WithCalibration(c tpusim.Calibration) Spec {
+	s.Calib = c
+	return s
 }

@@ -1,0 +1,103 @@
+package hostbench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Environment records where a host benchmark ran. Host numbers are only
+// comparable on like hardware, so the baseline file carries its
+// environment and Diff warns — without failing the gate — when the
+// current machine differs (a v2 runner comparing against a v1 baseline
+// explains a 20% "regression" better than the code does).
+type Environment struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// CPUModel is the /proc/cpuinfo "model name" (best effort; empty
+	// where the file is absent, e.g. non-Linux hosts).
+	CPUModel string `json:"cpu_model,omitempty"`
+}
+
+// CurrentEnvironment captures the running host.
+func CurrentEnvironment() Environment {
+	return Environment{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+	}
+}
+
+// cpuModel reads the first "model name" line of /proc/cpuinfo.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		key, val, ok := strings.Cut(line, ":")
+		if ok && strings.TrimSpace(key) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
+}
+
+// Mismatches compares a baseline environment against the current one
+// and describes every field that differs. Fields the baseline left
+// empty are skipped, so a legacy baseline with no environment block
+// produces no warnings.
+func (e Environment) Mismatches(current Environment) []string {
+	var w []string
+	diff := func(field, old, new string) {
+		if old != "" && old != new {
+			w = append(w, fmt.Sprintf("%s: baseline %q vs current %q", field, old, new))
+		}
+	}
+	diff("go_version", e.GoVersion, current.GoVersion)
+	diff("goos", e.GOOS, current.GOOS)
+	diff("goarch", e.GOARCH, current.GOARCH)
+	diff("cpu_model", e.CPUModel, current.CPUModel)
+	if e.NumCPU != 0 && e.NumCPU != current.NumCPU {
+		w = append(w, fmt.Sprintf("num_cpu: baseline %d vs current %d", e.NumCPU, current.NumCPU))
+	}
+	if e.GOMAXPROCS != 0 && e.GOMAXPROCS != current.GOMAXPROCS {
+		w = append(w, fmt.Sprintf("gomaxprocs: baseline %d vs current %d", e.GOMAXPROCS, current.GOMAXPROCS))
+	}
+	return w
+}
+
+// File is the on-disk BENCH_host.json schema: the measured records plus
+// the environment they were measured on. The pre-environment schema (a
+// bare record array) is still read by crossbench for compatibility.
+type File struct {
+	Env     Environment `json:"env"`
+	Records []Record    `json:"records"`
+}
+
+// RunFile measures every gated kernel (Run) and wraps the records with
+// the current environment — the committable BENCH_host.json content.
+func RunFile() (File, error) {
+	recs, err := Run()
+	if err != nil {
+		return File{}, err
+	}
+	return File{Env: CurrentEnvironment(), Records: recs}, nil
+}
+
+// DiffFiles compares two environment-carrying runs: records gate
+// exactly as Diff, and environment mismatches surface as warnings —
+// never regressions, because measuring on different CI hardware is
+// expected and must not hard-fail the gate.
+func DiffFiles(old, new File, threshold float64) DiffResult {
+	d := Diff(old.Records, new.Records, threshold)
+	d.EnvWarnings = old.Env.Mismatches(new.Env)
+	return d
+}

@@ -42,113 +42,90 @@ type Record struct {
 // steady-state, small enough for a quick CI gate).
 const benchN = 1 << 13
 
-// Run measures every gated kernel and returns the records in a stable
-// order (the committable BENCH_host.json content).
-func Run() ([]Record, error) {
-	primes, err := modarith.GenerateNTTPrimes(28, uint64(benchN), 2)
+// kernel is one benchmarkable host kernel: a base name (the calibration
+// vocabulary shared with cross.CalibKernels), a full hostbench ID
+// (base/size), and a closure running exactly one operation. The same
+// set backs both Run (testing.Benchmark, allocation counting) and
+// Measure (raw timing samples for the calibration harness).
+type kernel struct {
+	base string
+	id   string
+	op   func() error
+}
+
+// buildKernels constructs the gated kernel set at polynomial degree n
+// (a power of two ≥ 256 so the MAT split 128×(n/128) is valid). The
+// size-independent BAT matmul is included only when withBAT is set, so
+// multi-size sweeps measure it once.
+func buildKernels(n int, withBAT bool) ([]kernel, error) {
+	if n < 256 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("hostbench: degree %d is not a power of two ≥ 256", n)
+	}
+	primes, err := modarith.GenerateNTTPrimes(28, uint64(n), 2)
 	if err != nil {
 		return nil, err
 	}
-	rg, err := ring.NewRing(benchN, primes)
+	rg, err := ring.NewRing(n, primes)
 	if err != nil {
 		return nil, err
 	}
 	m := rg.Moduli[0]
 	rng := rand.New(rand.NewSource(7))
-	a := make([]uint64, benchN)
-	c := make([]uint64, benchN)
+	a := make([]uint64, n)
+	c := make([]uint64, n)
 	for i := range a {
 		a[i], c[i] = rng.Uint64()%m.Q, rng.Uint64()%m.Q
 	}
-	dst := make([]uint64, benchN)
+	dst := make([]uint64, n)
 
-	var recs []Record
-	add := func(id string, f func(b *testing.B)) {
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			f(b)
-		})
-		recs = append(recs, Record{
-			ID:          id,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: float64(r.AllocsPerOp()),
-		})
+	var ks []kernel
+	add := func(base, size string, op func() error) {
+		ks = append(ks, kernel{base: base, id: base + "/" + size, op: op})
 	}
+	sizeN := fmt.Sprintf("N%d", n)
 
 	buf := append([]uint64(nil), a...)
-	add("ntt_inplace/N8192", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			rg.NTTInPlace(0, buf)
-		}
-	})
-	add("intt_inplace/N8192", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			rg.INTTInPlace(0, buf)
-		}
-	})
+	add("ntt_inplace", sizeN, func() error { rg.NTTInPlace(0, buf); return nil })
+	add("intt_inplace", sizeN, func() error { rg.INTTInPlace(0, buf); return nil })
 	ws := m.ShoupPrecomputeVec(c)
-	add("vecmulmod_shoup/N8192", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			m.VecMulModShoup(dst, a, c, ws)
-		}
-	})
-	add("vecmulmod_barrett/N8192", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			m.VecMulMod(dst, a, c, modarith.Barrett)
-		}
-	})
-	add("vecaddmod/N8192", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			m.VecAddMod(dst, a, c)
-		}
-	})
+	add("vecmulmod_shoup", sizeN, func() error { m.VecMulModShoup(dst, a, c, ws); return nil })
+	add("vecmulmod_barrett", sizeN, func() error { m.VecMulMod(dst, a, c, modarith.Barrett); return nil })
+	add("vecaddmod", sizeN, func() error { m.VecAddMod(dst, a, c); return nil })
 
 	idx, err := rg.AutomorphismNTTIndex(5)
 	if err != nil {
 		return nil, err
 	}
-	autoIn := ring.NewPoly(1, benchN)
+	autoIn := ring.NewPoly(1, n)
 	copy(autoIn.Coeffs[0], a)
-	autoOut := ring.NewPoly(1, benchN)
-	add("automorphism_ntt/N8192", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			rg.AutomorphismNTT(autoIn, autoOut, idx)
-		}
-	})
+	autoOut := ring.NewPoly(1, n)
+	add("automorphism_ntt", sizeN, func() error { rg.AutomorphismNTT(autoIn, autoOut, idx); return nil })
 
-	plan, err := ring.NewMatNTTPlan(rg, 128, 64, ring.LayoutBitRev)
+	plan, err := ring.NewMatNTTPlan(rg, 128, n/128, ring.LayoutBitRev)
 	if err != nil {
 		return nil, err
 	}
-	matOut := make([]uint64, benchN)
-	add("matntt_forward/N8192", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			plan.ForwardLimb(0, a, matOut)
-		}
-	})
+	matOut := make([]uint64, n)
+	add("matntt_forward", sizeN, func() error { plan.ForwardLimb(0, a, matOut); return nil })
 
-	// BAT ModMatMul at the reduced functional size of BenchmarkTableV.
-	bm := modarith.MustModulus(268369921)
-	ba := make([]uint64, 64*64)
-	bx := make([]uint64, 64*64)
-	for i := range ba {
-		ba[i], bx[i] = rng.Uint64()%bm.Q, rng.Uint64()%bm.Q
-	}
-	bplan, err := bat.OfflineCompileLeft(bm, ba, 64, 64)
-	if err != nil {
-		return nil, err
-	}
-	bdst := make([]uint64, 64*64)
-	add("bat_matmul/64x64x64", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if err := bplan.MulInto(bdst, bx, 64, 1); err != nil {
-				b.Fatal(err)
-			}
+	if withBAT {
+		// BAT ModMatMul at the reduced functional size of BenchmarkTableV.
+		bm := modarith.MustModulus(268369921)
+		ba := make([]uint64, 64*64)
+		bx := make([]uint64, 64*64)
+		for i := range ba {
+			ba[i], bx[i] = rng.Uint64()%bm.Q, rng.Uint64()%bm.Q
 		}
-	})
+		bplan, err := bat.OfflineCompileLeft(bm, ba, 64, 64)
+		if err != nil {
+			return nil, err
+		}
+		bdst := make([]uint64, 64*64)
+		add("bat_matmul", "64x64x64", func() error { return bplan.MulInto(bdst, bx, 64, 1) })
+	}
 
 	// BConv step 1+2 through the pooled converter (ModUp shape L=2→2).
-	convPrimes, err := modarith.GenerateNTTPrimes(29, uint64(benchN), 4)
+	convPrimes, err := modarith.GenerateNTTPrimes(29, uint64(n), 4)
 	if err != nil {
 		return nil, err
 	}
@@ -164,19 +141,42 @@ func Run() ([]Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	convIn := rns.AllocLimbs(2, benchN)
+	convIn := rns.AllocLimbs(2, n)
 	for i := range convIn {
 		for k := range convIn[i] {
 			convIn[i][k] = rng.Uint64() % convPrimes[i]
 		}
 	}
-	convOut := rns.AllocLimbs(2, benchN)
-	add("bconv_approx/L2_to_2/N8192", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			conv.ConvertApproxInto(convOut, convIn)
-		}
-	})
+	convOut := rns.AllocLimbs(2, n)
+	add("bconv_approx", "L2_to_2/"+sizeN, func() error { conv.ConvertApproxInto(convOut, convIn); return nil })
 
+	return ks, nil
+}
+
+// Run measures every gated kernel and returns the records in a stable
+// order (the committable BENCH_host.json record content).
+func Run() ([]Record, error) {
+	ks, err := buildKernels(benchN, true)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]Record, 0, len(ks))
+	for _, k := range ks {
+		op := k.op
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := op(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		recs = append(recs, Record{
+			ID:          k.id,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+		})
+	}
 	return recs, nil
 }
 
@@ -207,6 +207,11 @@ type DiffResult struct {
 
 	OnlyInOld []string `json:"only_in_old,omitempty"`
 	OnlyInNew []string `json:"only_in_new,omitempty"`
+
+	// EnvWarnings describe baseline-vs-current environment mismatches
+	// (DiffFiles). Warnings only — different CI hardware explains noisy
+	// timings but must not hard-fail the gate.
+	EnvWarnings []string `json:"env_warnings,omitempty"`
 }
 
 // HasRegressions reports whether any kernel regressed — in wall time
@@ -230,6 +235,9 @@ func (d DiffResult) Summary() string {
 	}
 	if len(d.OnlyInNew) > 0 {
 		fmt.Fprintf(&b, "  only in new run: %v\n", d.OnlyInNew)
+	}
+	for _, w := range d.EnvWarnings {
+		fmt.Fprintf(&b, "  WARNING environment mismatch — %s\n", w)
 	}
 	return b.String()
 }

@@ -1,0 +1,73 @@
+package hostbench
+
+import "testing"
+
+// The kernel set at benchN must reproduce the exact record IDs the
+// committed BENCH_host.json has always carried — the refactor that
+// introduced buildKernels must not move the gate's vocabulary.
+func TestBuildKernelsKeepsHistoricalIDs(t *testing.T) {
+	ks, err := buildKernels(benchN, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"ntt_inplace/N8192", "intt_inplace/N8192",
+		"vecmulmod_shoup/N8192", "vecmulmod_barrett/N8192",
+		"vecaddmod/N8192", "automorphism_ntt/N8192",
+		"matntt_forward/N8192", "bat_matmul/64x64x64",
+		"bconv_approx/L2_to_2/N8192",
+	}
+	if len(ks) != len(want) {
+		t.Fatalf("kernel count = %d, want %d", len(ks), len(want))
+	}
+	for i, k := range ks {
+		if k.id != want[i] {
+			t.Errorf("kernel[%d].id = %q, want %q", i, k.id, want[i])
+		}
+		if err := k.op(); err != nil {
+			t.Errorf("%s: op failed: %v", k.id, err)
+		}
+	}
+}
+
+// Measure must return positive samples for every kernel at every size,
+// with the size-independent BAT matmul appearing exactly once.
+func TestMeasureSmoke(t *testing.T) {
+	sizes := []int{512, 1024}
+	samples, err := Measure(sizes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 kernels at the first size (with BAT), 8 at the second.
+	if len(samples) != 17 {
+		t.Fatalf("sample count = %d, want 17", len(samples))
+	}
+	bat := 0
+	for _, s := range samples {
+		if len(s.Ns) != 2 {
+			t.Errorf("%s: %d repeats, want 2", s.ID, len(s.Ns))
+		}
+		if b := s.Best(); !(b > 0) {
+			t.Errorf("%s: Best() = %v, want > 0", s.ID, b)
+		}
+		if s.Kernel == "bat_matmul" {
+			bat++
+		}
+	}
+	if bat != 1 {
+		t.Errorf("bat_matmul measured %d times, want once", bat)
+	}
+}
+
+// Degenerate inputs error cleanly rather than measuring nonsense.
+func TestMeasureRejectsBadSizes(t *testing.T) {
+	if _, err := Measure(nil, 3); err == nil {
+		t.Error("empty size list must error")
+	}
+	if _, err := Measure([]int{100}, 3); err == nil {
+		t.Error("non-power-of-two size must error")
+	}
+	if _, err := Measure([]int{128}, 3); err == nil {
+		t.Error("size below the MAT split must error")
+	}
+}

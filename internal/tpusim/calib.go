@@ -1,0 +1,121 @@
+package tpusim
+
+// Calibration names the roofline model's free constants — the values
+// that are NOT derivable from a part's published datasheet and were,
+// before the calibration harness (internal/calib, DESIGN.md §15),
+// hand-picked. Each field is a correction applied on top of the Spec's
+// peak figures:
+//
+//   - LaunchOverhead replaces Spec.DispatchOverhead as the per-kernel
+//     launch cost (XLA dispatch on TPUs, CUDA launch on GPUs);
+//   - HBMFraction scales peak HBM bandwidth to the effectively
+//     achievable streaming rate;
+//   - VMEMFraction scales the peak VMEM read/write port bandwidths
+//     (and the on-chip copy rate priced against the write port);
+//   - NTTEfficiency scales the peak compute rates (MXU MACs and VPU
+//     ALU ops) to the throughput NTT-shaped HE kernels actually
+//     sustain.
+//
+// The zero value means "uncalibrated": every field resolves to the
+// identity (LaunchOverhead → Spec.DispatchOverhead, fractions → 1), so
+// a Spec with a zero Calibration prices bit-identically to the
+// pre-calibration model — the property the sweep baseline's golden
+// tests pin. Fitted values come from calib.Run, which least-squares
+// fits them against ground-truth measurements (host kernels, published
+// TPU/GPU figures) instead of hand-picking.
+type Calibration struct {
+	// LaunchOverhead is the fitted per-kernel-launch cost in seconds;
+	// 0 means "use Spec.DispatchOverhead".
+	LaunchOverhead float64 `json:"launch_overhead_s,omitempty"`
+
+	// HBMFraction is the effective fraction of peak HBM bandwidth in
+	// (0, 1]; 0 means 1 (peak).
+	HBMFraction float64 `json:"hbm_fraction,omitempty"`
+
+	// VMEMFraction is the effective fraction of the peak VMEM read and
+	// write bandwidths in (0, 1]; 0 means 1 (peak).
+	VMEMFraction float64 `json:"vmem_fraction,omitempty"`
+
+	// NTTEfficiency is the achieved fraction of peak compute throughput
+	// (MXU MAC rate and VPU ALU rate alike) in NTT-shaped kernels;
+	// 0 means 1 (peak). Values above 1 are permitted: they mean the
+	// hand-modelled op counts overstate the work.
+	NTTEfficiency float64 `json:"ntt_efficiency,omitempty"`
+}
+
+// IsZero reports whether the calibration is entirely unset (identity).
+func (c Calibration) IsZero() bool { return c == Calibration{} }
+
+// Resolve fills the zero fields with their identity defaults for a
+// spec: the documented "current values" the model used before
+// calibration existed.
+func (c Calibration) Resolve(s Spec) Calibration {
+	if c.LaunchOverhead == 0 {
+		c.LaunchOverhead = s.DispatchOverhead
+	}
+	if c.HBMFraction == 0 {
+		c.HBMFraction = 1
+	}
+	if c.VMEMFraction == 0 {
+		c.VMEMFraction = 1
+	}
+	if c.NTTEfficiency == 0 {
+		c.NTTEfficiency = 1
+	}
+	return c
+}
+
+// --- effective (calibrated) figures ---
+//
+// Multiplying a bandwidth by a resolved fraction of exactly 1.0 is an
+// IEEE-754 identity, so an uncalibrated Spec produces bit-identical
+// times through these accessors — the device pricing in device.go
+// calls only these, never the raw fields.
+
+// EffectiveDispatch returns the calibrated per-kernel launch cost.
+func (s Spec) EffectiveDispatch() float64 {
+	if s.Calib.LaunchOverhead > 0 {
+		return s.Calib.LaunchOverhead
+	}
+	return s.DispatchOverhead
+}
+
+// effFraction resolves a fraction field: 0 → 1 (peak).
+func effFraction(f float64) float64 {
+	if f > 0 {
+		return f
+	}
+	return 1
+}
+
+// EffectiveHBMBW returns the calibrated HBM streaming bandwidth.
+func (s Spec) EffectiveHBMBW() float64 {
+	return s.HBMBandwidth * effFraction(s.Calib.HBMFraction)
+}
+
+// EffectiveVMEMReadBW returns the calibrated VMEM read-port bandwidth.
+func (s Spec) EffectiveVMEMReadBW() float64 {
+	return s.VMEMReadBW * effFraction(s.Calib.VMEMFraction)
+}
+
+// EffectiveVMEMWriteBW returns the calibrated VMEM write-port bandwidth.
+func (s Spec) EffectiveVMEMWriteBW() float64 {
+	return s.VMEMWriteBW * effFraction(s.Calib.VMEMFraction)
+}
+
+// EffectivePeakMACs returns the calibrated MXU MAC rate.
+func (s Spec) EffectivePeakMACs() float64 {
+	return s.PeakMACs * effFraction(s.Calib.NTTEfficiency)
+}
+
+// EffectiveVPUOps returns the calibrated VPU ALU rate.
+func (s Spec) EffectiveVPUOps() float64 {
+	return s.VPUOps * effFraction(s.Calib.NTTEfficiency)
+}
+
+// WithCalibration returns a copy of the spec carrying the given
+// calibration — the hook the fitter uses to price candidate constants.
+func (s Spec) WithCalibration(c Calibration) Spec {
+	s.Calib = c
+	return s
+}

@@ -1,0 +1,87 @@
+package tpusim
+
+import "testing"
+
+// A zero Calibration must resolve to the documented identity and price
+// bit-identically to an explicitly-resolved one — the property that
+// keeps the committed sweep baseline byte-stable while the calibration
+// fields exist.
+func TestCalibrationZeroIsIdentity(t *testing.T) {
+	for _, spec := range AllSpecs() {
+		if !spec.Calib.IsZero() {
+			t.Fatalf("%s: factory spec carries a non-zero calibration %+v", spec.Name, spec.Calib)
+		}
+		resolved := spec.Calib.Resolve(spec)
+		want := Calibration{
+			LaunchOverhead: spec.DispatchOverhead,
+			HBMFraction:    1,
+			VMEMFraction:   1,
+			NTTEfficiency:  1,
+		}
+		if resolved != want {
+			t.Fatalf("%s: Resolve = %+v, want %+v", spec.Name, resolved, want)
+		}
+
+		plain := NewDevice(spec)
+		explicit := NewDevice(spec.WithCalibration(resolved))
+		cases := []struct {
+			name   string
+			plainT float64
+			calT   float64
+		}{
+			{"dispatch", plain.DispatchTime(), explicit.DispatchTime()},
+			{"matmul", plain.MatMulINT8Time(100, 300, 200), explicit.MatMulINT8Time(100, 300, 200)},
+			{"vecop", plain.VecOpTime(1<<13, 10), explicit.VecOpTime(1<<13, 10)},
+			{"hbm", plain.HBMTime(1 << 20), explicit.HBMTime(1 << 20)},
+			{"copy", plain.CopyTime(1 << 16), explicit.CopyTime(1 << 16)},
+		}
+		for _, c := range cases {
+			if c.plainT != c.calT {
+				t.Errorf("%s/%s: zero-calib %v != resolved-calib %v (must be bit-identical)",
+					spec.Name, c.name, c.plainT, c.calT)
+			}
+		}
+	}
+}
+
+// Each constant must move exactly the term it names: halving a
+// bandwidth fraction doubles that memory time, halving the efficiency
+// doubles compute time, and the launch override replaces dispatch.
+func TestCalibrationScalesPricing(t *testing.T) {
+	spec := TPUv4()
+
+	t.Run("launch override", func(t *testing.T) {
+		d := NewDevice(spec.WithCalibration(Calibration{LaunchOverhead: 42e-6}))
+		if got := d.DispatchTime(); got != 42e-6 {
+			t.Fatalf("DispatchTime = %v, want the 42µs override", got)
+		}
+	})
+
+	t.Run("hbm fraction", func(t *testing.T) {
+		base := NewDevice(spec).HBMTime(1 << 20)
+		half := NewDevice(spec.WithCalibration(Calibration{HBMFraction: 0.5})).HBMTime(1 << 20)
+		if half != 2*base {
+			t.Fatalf("HBMTime at fraction 0.5 = %v, want 2× the peak-time %v", half, base)
+		}
+	})
+
+	t.Run("vmem fraction", func(t *testing.T) {
+		base := NewDevice(spec).CopyTime(1 << 16)
+		half := NewDevice(spec.WithCalibration(Calibration{VMEMFraction: 0.5})).CopyTime(1 << 16)
+		if half != 2*base {
+			t.Fatalf("CopyTime at fraction 0.5 = %v, want 2× the peak-time %v", half, base)
+		}
+	})
+
+	t.Run("ntt efficiency", func(t *testing.T) {
+		// A huge compute-bound matmul: compute dominates the roofline on
+		// both sides, so halving efficiency should double the time up to
+		// the constant fill term.
+		d := NewDevice(spec)
+		base := d.MatMulINT8Time(1<<13, 1<<13, 1<<13)
+		half := NewDevice(spec.WithCalibration(Calibration{NTTEfficiency: 0.5})).MatMulINT8Time(1<<13, 1<<13, 1<<13)
+		if half <= 1.9*base {
+			t.Fatalf("compute-bound MatMulINT8Time at efficiency 0.5 = %v, want ≈2× %v", half, base)
+		}
+	})
+}

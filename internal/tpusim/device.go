@@ -79,7 +79,7 @@ func (d *Device) MatMulINT8Time(m, k, w int) float64 {
 	kp := ceilDiv(k, t) * t
 	wp := ceilDiv(w, t) * t
 	macs := float64(mp) * float64(kp) * float64(wp)
-	compute := macs / d.Spec.PeakMACs
+	compute := macs / d.Spec.EffectivePeakMACs()
 	// Pipeline fill: one pass of the array per K-tile column.
 	fill := float64(ceilDiv(kp, t)) * float64(t) / d.Spec.ClockHz
 	// Operand streaming: A and B read once (INT8), C written (INT32).
@@ -88,7 +88,7 @@ func (d *Device) MatMulINT8Time(m, k, w int) float64 {
 	// stream into read bandwidth understates memory time.
 	readBytes := float64(mp*kp) + float64(kp*wp)
 	writeBytes := 4 * float64(mp*wp)
-	mem := readBytes/d.Spec.VMEMReadBW + writeBytes/d.Spec.VMEMWriteBW
+	mem := readBytes/d.Spec.EffectiveVMEMReadBW() + writeBytes/d.Spec.EffectiveVMEMWriteBW()
 	return math.Max(compute+fill, mem)
 }
 
@@ -121,19 +121,20 @@ func (d *Device) VecOpTime(n int, opsPerElem float64) float64 {
 	if derate < 1 {
 		derate = 1
 	}
-	compute := float64(np) * opsPerElem * derate / d.Spec.VPUOps
+	compute := float64(np) * opsPerElem * derate / d.Spec.EffectiveVPUOps()
 	// Every materialised HLO stage round-trips VMEM: opsPerElem stages
 	// each streaming a 64-bit intermediate word pair in and the 64-bit
 	// result back out (~8 bytes each way per element-stage). The two
 	// halves of the round trip price against their own ports — write
 	// bandwidth is 2–3× lower than read on v4/v5e/v6e (Tab. IV).
 	stageBytes := float64(np) * 8 * opsPerElem
-	mem := stageBytes/d.Spec.VMEMReadBW + stageBytes/d.Spec.VMEMWriteBW
+	mem := stageBytes/d.Spec.EffectiveVMEMReadBW() + stageBytes/d.Spec.EffectiveVMEMWriteBW()
 	return math.Max(compute, mem)
 }
 
-// DispatchTime is the fixed XLA kernel-launch overhead.
-func (d *Device) DispatchTime() float64 { return d.Spec.DispatchOverhead }
+// DispatchTime is the fixed XLA kernel-launch overhead (calibrated:
+// Spec.Calib.LaunchOverhead when set, Spec.DispatchOverhead otherwise).
+func (d *Device) DispatchTime() float64 { return d.Spec.EffectiveDispatch() }
 
 // Dispatch charges one kernel launch to a category.
 func (d *Device) Dispatch(category string) float64 {
@@ -216,7 +217,7 @@ func (d *Device) TypeConvert(category string, n int) float64 {
 
 // HBMTime models off-chip traffic of the given bytes.
 func (d *Device) HBMTime(bytes int64) float64 {
-	return float64(bytes) / d.Spec.HBMBandwidth
+	return float64(bytes) / d.Spec.EffectiveHBMBW()
 }
 
 // HBM charges off-chip traffic.
@@ -228,7 +229,7 @@ func (d *Device) HBM(category string, bytes int64) float64 {
 
 // CopyTime models an on-chip VMEM-to-VMEM copy/reshape.
 func (d *Device) CopyTime(bytes int64) float64 {
-	return float64(bytes) / d.Spec.VMEMWriteBW
+	return float64(bytes) / d.Spec.EffectiveVMEMWriteBW()
 }
 
 // Copy charges an on-chip copy/reshape.

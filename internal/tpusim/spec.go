@@ -80,6 +80,14 @@ type Spec struct {
 	// exchange (link traversal + collective-runtime launch).
 	ICIBandwidth float64
 	ICILatency   float64
+
+	// Calib carries the model's fitted free constants (calib.go). The
+	// zero value resolves to the identity — DispatchOverhead as-is and
+	// every bandwidth/compute figure at peak — which reproduces the
+	// pre-calibration model bit-exactly; the calibration harness
+	// (internal/calib) fits the fields against ground-truth
+	// measurements instead of hand-picking them.
+	Calib Calibration
 }
 
 const gib = 1024 * 1024 * 1024
