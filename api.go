@@ -46,6 +46,11 @@
 //     batching, and fleet dispatch across M pods — and returns one
 //     deterministic record of offered load, achieved throughput, pod
 //     utilization, queue depth, and tail latency (crossbench -serve).
+//     FaultConfig adds the deterministic fault model (pod
+//     crash/recover, stragglers, batch errors) and recovery machinery
+//     (deadlines, retries, hedging, load shedding, heartbeat
+//     detection); ServeChaos sweeps goodput across a crash-MTBF grid
+//     (crossbench -serve -faults, -chaos; DESIGN.md §16).
 //   - Calibration layer: Calib pairs every measurable kernel latency
 //     (host wall clock plus the paper's published TPU/GPU figures)
 //     with the simulator's prediction for the same work, fits the
@@ -65,6 +70,7 @@ import (
 	"cross/internal/calib"
 	"cross/internal/ckks"
 	icross "cross/internal/cross"
+	"cross/internal/faults"
 	"cross/internal/gpusim"
 	"cross/internal/harness"
 	"cross/internal/hostbench"
@@ -625,10 +631,42 @@ const (
 
 // Serve executes one serving scenario of the discrete-event simulator
 // to completion: every request offered within the horizon is served,
-// so overload shows up as makespan and tail latency, not loss. The
-// result is a pure function of the config (see internal/serve's
-// determinism contract).
+// so overload shows up as makespan and tail latency, not loss (under
+// faults, also as shed, timed-out, and failed requests). The result is
+// a pure function of the config (see internal/serve's determinism
+// contract).
 func Serve(cfg ServeConfig) (*ServeResult, error) { return serve.Run(cfg) }
+
+// FaultConfig selects the deterministic fault-and-recovery scenario
+// for ServeConfig.Faults: pod crash/recover (exponential MTBF/MTTR),
+// transient stragglers, batch-level transient errors, plus the
+// client-side recovery knobs — deadlines, capped-backoff retries,
+// hedged dispatch, and queue-depth admission control. The zero value
+// disables everything and leaves the serve record byte-identical to a
+// fault-free run.
+type FaultConfig = faults.Config
+
+// ServeAvailability is the availability section a fault-configured
+// serve run adds to its record: goodput, shed/timed-out/failed counts,
+// retry and hedge activity, per-pod downtime, and latency conditioned
+// on completing within deadline.
+type ServeAvailability = serve.AvailabilityStats
+
+// ServeChaosConfig sweeps one serving scenario across a grid of crash
+// MTBFs, holding every other fault knob fixed.
+type ServeChaosConfig = serve.ChaosConfig
+
+// ServeChaosPoint is one chaos grid cell's availability summary.
+type ServeChaosPoint = serve.ChaosPoint
+
+// ServeChaosResult is the stable record of a chaos sweep,
+// healthiest-first.
+type ServeChaosResult = serve.ChaosResult
+
+// ServeChaos runs the MTBF grid: the fleet is priced once, then one
+// deterministic serve run per cell measures how goodput and the
+// in-deadline tail degrade as crashes become more frequent.
+func ServeChaos(cc ServeChaosConfig) (*ServeChaosResult, error) { return serve.Chaos(cc) }
 
 // EstimateMNIST estimates the §V-D MNIST CNN latency on a compiler.
 func EstimateMNIST(c *Compiler) (total, perImage float64) {

@@ -338,6 +338,44 @@ func TestServeFacade(t *testing.T) {
 	}
 }
 
+func TestServeFaultsFacade(t *testing.T) {
+	r, err := Serve(ServeConfig{
+		Seed: 2, Spec: "TPUv5e", Pods: 3, HorizonS: 0.05, MaxBatch: 4,
+		Mix:    []ServeMixEntry{{Workload: "HE-Mult", Weight: 1}},
+		Faults: &FaultConfig{Seed: 4, MTBFS: 0.01, MaxRetries: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Availability == nil || r.Availability.Crashes == 0 {
+		t.Fatalf("fault run recorded no crashes: %+v", r.Availability)
+	}
+	chaos, err := ServeChaos(ServeChaosConfig{
+		Serve: ServeConfig{
+			Seed: 2, Spec: "TPUv5e", Pods: 2, HorizonS: 0.02, MaxBatch: 4,
+			Mix: []ServeMixEntry{{Workload: "HE-Mult", Weight: 1}},
+		},
+		MTBFGrid: []float64{0, 0.005},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chaos.Points) != 2 || chaos.Points[0].MTBFS != 0 {
+		t.Fatalf("chaos sweep malformed: %+v", chaos.Points)
+	}
+	if chaos.Points[1].Crashes == 0 {
+		t.Error("chaos harsh cell crash-free")
+	}
+	if chaos.Summary() == "" {
+		t.Error("empty chaos summary")
+	}
+	if _, err := Serve(ServeConfig{
+		HorizonS: 0.01, Faults: &FaultConfig{MTBFS: -1},
+	}); err == nil {
+		t.Error("invalid fault config accepted")
+	}
+}
+
 func TestCalibFacade(t *testing.T) {
 	// PredictKernel prices every calibration kernel on any target, and
 	// a non-default Calibration changes the price.

@@ -36,6 +36,11 @@
 //	crossbench -serve -device TPUv4 -set A -batch 8 -delay 0.001 -horizon 0.5
 //	crossbench -serve -mix "HE-Mult=0.6,Rotate=0.3,MNIST=0.1" -seed 42
 //	crossbench -serve -overlap                # price batches at the overlap-aware makespan
+//	crossbench -serve -faults -mtbf 0.05 -retries 3 -hedge   # fault injection + recovery
+//	crossbench -serve -faults -deadline 0.02 -shed 32        # deadlines + load shedding
+//	crossbench -serve -faults -straggler 8 -fault-seed 9     # transient stragglers
+//	crossbench -chaos                         # goodput vs crash-MTBF grid (availability curve)
+//	crossbench -chaos -retries 3 -hedge -deadline 0.05 -json
 //	crossbench -json [...]     # machine-readable output (any mode)
 //
 // With -json the tool emits JSON instead of the formatted tables:
@@ -306,6 +311,30 @@ func runServe(cfg cross.ServeConfig, out string, asJSON bool) {
 	fmt.Print(r.Summary())
 }
 
+// runChaos handles -chaos: sweep the serving scenario across the
+// default crash-MTBF grid and emit the availability curve. The chaos
+// cells reuse the serve fault flags for recovery knobs; the MTBF axis
+// itself comes from the grid (any -mtbf value seeds the base config's
+// other defaults but is overridden per cell).
+func runChaos(cc cross.ServeChaosConfig, out string, asJSON bool) {
+	r, err := cross.ServeChaos(cc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crossbench:", err)
+		os.Exit(1)
+	}
+	if out != "" {
+		if err := writeJSON(out, r); err != nil {
+			fmt.Fprintln(os.Stderr, "crossbench:", err)
+			os.Exit(1)
+		}
+	}
+	if asJSON {
+		emitJSON(r)
+		return
+	}
+	fmt.Print(r.Summary())
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
 	experiment := flag.String("experiment", "", "run a single experiment by identifier")
@@ -329,6 +358,17 @@ func main() {
 	mix := flag.String("mix", "", `serve: workload mix as "HE-Mult=0.6,Rotate=0.3,MNIST=0.1" (default mixed operator+MNIST traffic)`)
 	set := flag.String("set", "", `parameter-set letter A-D for -serve (default "B") and -versus (default "D")`)
 	overlap := flag.Bool("overlap", false, "serve: price service times at the overlap-aware OverlappedTotal instead of the serial total")
+	faultsMode := flag.Bool("faults", false, "serve: enable the deterministic fault model and recovery machinery (DESIGN.md §16)")
+	chaosMode := flag.Bool("chaos", false, "chaos sweep: rerun the serving scenario across a crash-MTBF grid and report the availability curve")
+	faultSeed := flag.Int64("fault-seed", 0, "faults: injector PRNG seed, independent of -seed (default 1)")
+	mtbf := flag.Float64("mtbf", 0, "faults: per-pod mean time between crashes in seconds (0 = no crashes)")
+	mttr := flag.Float64("mttr", 0, "faults: per-pod mean time to recover in seconds (default mtbf/10)")
+	straggler := flag.Float64("straggler", 0, "faults: transient-straggler slowdown factor ≥ 1 (0 = off)")
+	batcherr := flag.Float64("batcherr", 0, "faults: i.i.d. probability that a batch launch fails transiently")
+	deadline := flag.Float64("deadline", 0, "faults: per-request deadline in seconds; timed-out requests never count completed (0 = none)")
+	retries := flag.Int("retries", 0, "faults: max re-dispatches for a request lost to a crash or batch error")
+	hedge := flag.Bool("hedge", false, "faults: hedged dispatch — copy a slow batch to an idle pod, first finisher wins")
+	shed := flag.Int("shed", 0, "faults: shed arrivals when the dispatched pod already queues this many requests (0 = unbounded)")
 	compare := flag.String("compare", "", "run a fresh sweep (or host benchmark with -hostbench) and diff it against a baseline JSON file; exit 1 on regression")
 	metric := flag.String("metric", "all", "sweep -compare: gate on one latency column — total, overlapped, or all")
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = NumCPU); output is identical at every value")
@@ -338,7 +378,7 @@ func main() {
 	flag.Parse()
 
 	deviceSet, thresholdSet, parallelSet, outSet, metricSet, setSet, repeatsSet := false, false, false, false, false, false, false
-	serveFlagSet := ""
+	serveFlagSet, faultFlagSet := "", ""
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "device":
@@ -357,47 +397,57 @@ func main() {
 			repeatsSet = true
 		case "rate", "pods", "cores", "policy", "seed", "horizon", "batch", "delay", "mix", "overlap":
 			serveFlagSet = f.Name
+		case "fault-seed", "mtbf", "mttr", "straggler", "batcherr", "deadline", "retries", "hedge", "shed":
+			faultFlagSet = f.Name
 		}
 	})
 	// -hostbench and -calib pair with -compare (their respective gates);
 	// every other top-level mode is mutually exclusive.
 	exclusive := 0
-	for _, on := range []bool{*scaling, *sweepMode, *hostbenchMode, *calibMode, *refreshBaselines, *serveMode,
+	for _, on := range []bool{*scaling, *sweepMode, *hostbenchMode, *calibMode, *refreshBaselines, *serveMode, *chaosMode,
 		*compare != "" && !*hostbenchMode && !*calibMode, *list, *experiment != "", *versus != ""} {
 		if on {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		fmt.Fprintln(os.Stderr, "crossbench: -scaling, -sweep, -hostbench, -calib, -refresh-baselines, -serve, -compare, -versus, -list and -experiment are mutually exclusive (except -hostbench/-calib with -compare)")
+		fmt.Fprintln(os.Stderr, "crossbench: -scaling, -sweep, -hostbench, -calib, -refresh-baselines, -serve, -chaos, -compare, -versus, -list and -experiment are mutually exclusive (except -hostbench/-calib with -compare)")
 		os.Exit(1)
 	}
-	if deviceSet && !*scaling && !*serveMode {
-		fmt.Fprintln(os.Stderr, "crossbench: -device only applies to -scaling and -serve")
+	if deviceSet && !*scaling && !*serveMode && !*chaosMode {
+		fmt.Fprintln(os.Stderr, "crossbench: -device only applies to -scaling, -serve and -chaos")
 		os.Exit(1)
 	}
-	if setSet && !*serveMode && *versus == "" {
-		fmt.Fprintln(os.Stderr, "crossbench: -set only applies to -serve and -versus")
+	if setSet && !*serveMode && !*chaosMode && *versus == "" {
+		fmt.Fprintln(os.Stderr, "crossbench: -set only applies to -serve, -chaos and -versus")
 		os.Exit(1)
 	}
 	if thresholdSet && *compare == "" {
 		fmt.Fprintln(os.Stderr, "crossbench: -threshold only applies to -compare")
 		os.Exit(1)
 	}
-	if parallelSet && (*hostbenchMode || (!*sweepMode && !*serveMode && !*calibMode && !*refreshBaselines && *compare == "")) {
-		fmt.Fprintln(os.Stderr, "crossbench: -parallel only applies to -sweep, -serve, -calib, -refresh-baselines and sweep -compare")
+	if parallelSet && (*hostbenchMode || (!*sweepMode && !*serveMode && !*chaosMode && !*calibMode && !*refreshBaselines && *compare == "")) {
+		fmt.Fprintln(os.Stderr, "crossbench: -parallel only applies to -sweep, -serve, -chaos, -calib, -refresh-baselines and sweep -compare")
 		os.Exit(1)
 	}
-	if outSet && !*sweepMode && !*hostbenchMode && !*calibMode && !*serveMode && *compare == "" && *versus == "" {
-		fmt.Fprintln(os.Stderr, "crossbench: -out only applies to -sweep, -hostbench, -calib, -serve, -compare and -versus")
+	if outSet && !*sweepMode && !*hostbenchMode && !*calibMode && !*serveMode && !*chaosMode && *compare == "" && *versus == "" {
+		fmt.Fprintln(os.Stderr, "crossbench: -out only applies to -sweep, -hostbench, -calib, -serve, -chaos, -compare and -versus")
 		os.Exit(1)
 	}
 	if repeatsSet && !*calibMode && !*refreshBaselines {
 		fmt.Fprintln(os.Stderr, "crossbench: -repeats only applies to -calib and -refresh-baselines")
 		os.Exit(1)
 	}
-	if serveFlagSet != "" && !*serveMode {
-		fmt.Fprintf(os.Stderr, "crossbench: -%s only applies to -serve\n", serveFlagSet)
+	if serveFlagSet != "" && !*serveMode && !*chaosMode {
+		fmt.Fprintf(os.Stderr, "crossbench: -%s only applies to -serve and -chaos\n", serveFlagSet)
+		os.Exit(1)
+	}
+	if *faultsMode && !*serveMode {
+		fmt.Fprintln(os.Stderr, "crossbench: -faults only applies to -serve (-chaos implies it)")
+		os.Exit(1)
+	}
+	if faultFlagSet != "" && !*faultsMode && !*chaosMode {
+		fmt.Fprintf(os.Stderr, "crossbench: -%s only applies to -serve -faults and -chaos\n", faultFlagSet)
 		os.Exit(1)
 	}
 	if metricSet && (*compare == "" || *hostbenchMode || *calibMode) {
@@ -416,7 +466,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *serveMode {
+	if *serveMode || *chaosMode {
 		cfg := cross.ServeConfig{
 			Seed: *seed, Set: *set, Pods: *pods, CoresPerPod: *podCores,
 			Policy: *policy, Rate: *rate, HorizonS: *horizon,
@@ -433,7 +483,19 @@ func main() {
 			}
 			cfg.Mix = m
 		}
-		runServe(cfg, *out, *asJSON)
+		if *faultsMode || *chaosMode {
+			cfg.Faults = &cross.FaultConfig{
+				Seed: *faultSeed, MTBFS: *mtbf, MTTRS: *mttr,
+				StragglerFactor: *straggler, BatchErrorProb: *batcherr,
+				DeadlineS: *deadline, MaxRetries: *retries,
+				Hedge: *hedge, QueueLimit: *shed,
+			}
+		}
+		if *chaosMode {
+			runChaos(cross.ServeChaosConfig{Serve: cfg}, *out, *asJSON)
+		} else {
+			runServe(cfg, *out, *asJSON)
+		}
 		return
 	}
 

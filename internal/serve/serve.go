@@ -20,6 +20,22 @@
 // count. The JSON encoding of a Result is therefore bit-identical
 // across runs and across Parallel values for a fixed seed (tested).
 //
+// Fault model (DESIGN.md §16): Config.Faults threads the deterministic
+// injectors of internal/faults through the event loop — pod
+// crash/recover on exponential MTBF/MTTR clocks (an in-flight batch on
+// a crashed pod is lost and retried), transient straggler windows that
+// multiply a pod's service times, and i.i.d. batch-level transient
+// errors — plus the client-side recovery machinery production stacks
+// use to survive them: per-request deadlines (a timed-out request is
+// never completed), retries with capped exponential backoff and
+// deterministic jitter, hedged dispatch with first-wins cancellation,
+// queue-depth admission control, and heartbeat-timeout down-pod
+// detection (dispatch keeps routing to a just-crashed pod until the
+// timeout fires — no oracle knowledge). Fault streams are seeded
+// independently of arrivals, so one request trace replays under many
+// fault seeds; a nil or zero-valued fault config reproduces the
+// fault-free record byte-identically.
+//
 // Batching model: a batch of b same-class requests is priced as the
 // b-replicated program (Program.Batch semantics: operator work scales
 // linearly) minus the amortised kernel-launch overhead — stacking b
@@ -31,11 +47,13 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"cross/internal/cross"
+	"cross/internal/faults"
 	"cross/internal/sweep"
 )
 
@@ -107,6 +125,14 @@ type Config struct {
 	// distinguishable from their echoed Configs.
 	Overlap bool `json:"overlap"`
 
+	// Faults enables the deterministic fault-injection and recovery
+	// layer (DESIGN.md §16): pod crash/recover, transient stragglers,
+	// batch-level transient errors, per-request deadlines, retries with
+	// capped backoff, hedged dispatch, and admission control. nil — or
+	// a pointer to the zero value, which withDefaults collapses to nil
+	// — reproduces the fault-free Result byte-identically.
+	Faults *faults.Config `json:"faults,omitempty"`
+
 	// Parallel is the worker count for pre-pricing the service-time
 	// table; ≤ 0 means NumCPU. Results are bit-identical at every
 	// value, so it is excluded from the record schema.
@@ -146,6 +172,14 @@ func (cfg Config) withDefaults() Config {
 	if cfg.Parallel <= 0 {
 		cfg.Parallel = runtime.NumCPU()
 	}
+	if cfg.Faults != nil {
+		if cfg.Faults.IsZero() {
+			cfg.Faults = nil // zero-valued faults ≡ fault-free, byte-identically
+		} else {
+			f := cfg.Faults.WithDefaults(cfg.HorizonS)
+			cfg.Faults = &f // copy: never mutate the caller's config
+		}
+	}
 	return cfg
 }
 
@@ -181,15 +215,31 @@ func (cfg Config) validate() error {
 	if cfg.MaxDelayS < 0 {
 		return fmt.Errorf("serve: max queue delay must be ≥ 0, got %g", cfg.MaxDelayS)
 	}
-	// withDefaults guarantees a non-empty mix, so positive weights are
-	// the only thing left to check.
+	// withDefaults guarantees a non-empty mix, so positive weights and
+	// distinct workloads are all that is left to check. Duplicates must
+	// be rejected: two entries for one workload would silently become
+	// two classes with split weights and misleading per-workload stats.
+	seen := make(map[string]bool, len(cfg.Mix))
 	for _, e := range cfg.Mix {
 		if e.Weight <= 0 {
 			return fmt.Errorf("serve: mix weight for %q must be positive, got %g", e.Workload, e.Weight)
 		}
+		if seen[e.Workload] {
+			return fmt.Errorf("%w: %q appears more than once", ErrDuplicateWorkload, e.Workload)
+		}
+		seen[e.Workload] = true
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
 	}
 	return nil
 }
+
+// ErrDuplicateWorkload is returned when Config.Mix names one workload
+// in more than one entry.
+var ErrDuplicateWorkload = errors.New("serve: duplicate workload in mix")
 
 // LatencyStats summarises a request-latency distribution (seconds).
 // Quantiles are nearest-rank over the completed requests.
@@ -211,11 +261,41 @@ type PodStats struct {
 	MaxQueueDepth int     `json:"max_queue_depth"`
 }
 
-// WorkloadStats is one request class's share of the run.
+// WorkloadStats is one request class's share of the run. Requests
+// counts delivered requests of the class (fault-free, every arrival is
+// delivered, so it equals the arrival count).
 type WorkloadStats struct {
 	Workload string       `json:"workload"`
 	Requests int          `json:"requests"`
 	Latency  LatencyStats `json:"latency"`
+}
+
+// AvailabilityStats is the record's availability section, present
+// only when the fault layer is enabled (Config.Faults non-nil).
+// Completed + Shed + TimedOut + Failed always equals Requests.
+type AvailabilityStats struct {
+	// Goodput is requests completed within deadline per second of
+	// makespan — the "requests/sec at N nines" capacity axis.
+	Goodput float64 `json:"goodput"`
+
+	Shed     int `json:"shed"`      // rejected by admission control
+	TimedOut int `json:"timed_out"` // deadline expired before delivery
+	Failed   int `json:"failed"`    // lost and retry budget exhausted
+	Late     int `json:"late"`      // delivered after deadline (subset of timed out)
+
+	Retries     int `json:"retries"`      // re-dispatches after lost launches
+	Hedges      int `json:"hedges"`       // hedge launches issued
+	HedgesWon   int `json:"hedges_won"`   // hedges that beat their primary
+	Crashes     int `json:"crashes"`      // pod crash events
+	BatchErrors int `json:"batch_errors"` // transiently failed launches
+
+	// PodDowntimeS is each pod's total crashed time inside the run.
+	PodDowntimeS []float64 `json:"pod_downtime_s"`
+
+	// LatencyGood conditions the latency distribution on requests
+	// completed within their deadline (Latency includes late
+	// deliveries).
+	LatencyGood LatencyStats `json:"latency_good"`
 }
 
 // Result is one serving run: the resolved Config plus the measured
@@ -230,18 +310,26 @@ type Result struct {
 	// saturation asymptote AchievedRate approaches under overload.
 	CapacityRate float64 `json:"capacity_rate"`
 
-	OfferedRate  float64 `json:"offered_rate"`  // resolved arrival rate
-	Requests     int     `json:"requests"`      // arrivals in the horizon
-	Completed    int     `json:"completed"`     // always == Requests (the run drains)
-	MakespanS    float64 `json:"makespan_s"`    // last completion time
+	OfferedRate float64 `json:"offered_rate"` // resolved arrival rate
+	Requests    int     `json:"requests"`     // arrivals in the horizon
+
+	// Completed counts requests that finished within their deadline,
+	// derived from finish events — fault-free the run drains, so it
+	// equals Requests; under faults the rest are shed, timed out, or
+	// failed (see Availability).
+	Completed    int     `json:"completed"`
+	MakespanS    float64 `json:"makespan_s"`    // last delivery time
 	AchievedRate float64 `json:"achieved_rate"` // Completed / MakespanS
 
-	MeanBatch     float64 `json:"mean_batch"`      // requests per launch
+	MeanBatch     float64 `json:"mean_batch"`      // delivered requests per launch
 	MaxQueueDepth int     `json:"max_queue_depth"` // fleet-wide peak
 
 	Latency   LatencyStats    `json:"latency"`
 	Pods      []PodStats      `json:"pods"`
 	Workloads []WorkloadStats `json:"workloads"`
+
+	// Availability is present only when Config.Faults is enabled.
+	Availability *AvailabilityStats `json:"availability,omitempty"`
 }
 
 // priceTable is the pre-priced service-time model: for every mix class
@@ -372,6 +460,20 @@ func (pt *priceTable) capacity(cfg Config) float64 {
 	return float64(cfg.Pods) / mean
 }
 
+// meanBase is the mix-weighted single-request service time — the
+// scale the fault layer's auto-derived knobs (retry backoff base,
+// heartbeat timeout) resolve against.
+func (pt *priceTable) meanBase(cfg Config) float64 {
+	var sumW, mean float64
+	for _, e := range cfg.Mix {
+		sumW += e.Weight
+	}
+	for w, e := range cfg.Mix {
+		mean += (e.Weight / sumW) * pt.base[w]
+	}
+	return mean
+}
+
 // autoRateFraction is the load factor auto-rate resolves to: busy
 // enough to exercise queueing, below the saturation knee.
 const autoRateFraction = 0.7
@@ -380,32 +482,62 @@ const autoRateFraction = 0.7
 // cannot exhaust memory.
 const maxRequests = 2_000_000
 
-// Run executes one serving scenario to completion and returns its
-// record. See the package comment for the determinism contract.
-func Run(cfg Config) (*Result, error) {
+// prepare resolves and validates the config, prices the service-time
+// table, and resolves the offered rate against fleet capacity — the
+// shared front half of Run and Chaos (which re-uses one table across
+// a whole fault grid; the table never depends on the fault config).
+func prepare(cfg Config) (Config, *priceTable, float64, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
-		return nil, err
+		return cfg, nil, 0, err
 	}
 	pt, err := price(cfg)
 	if err != nil {
-		return nil, err
+		return cfg, nil, 0, err
 	}
 	capRate := pt.capacity(cfg)
 	if cfg.Rate <= 0 {
 		cfg.Rate = autoRateFraction * capRate
 	}
 	if cfg.Rate <= 0 {
-		return nil, fmt.Errorf("serve: resolved arrival rate is zero (capacity %g)", capRate)
+		return cfg, nil, 0, fmt.Errorf("serve: resolved arrival rate is zero (capacity %g)", capRate)
 	}
 	if cfg.Rate*cfg.HorizonS > maxRequests {
-		return nil, fmt.Errorf("serve: rate %g × horizon %g s exceeds the %d-request cap",
+		return cfg, nil, 0, fmt.Errorf("serve: rate %g × horizon %g s exceeds the %d-request cap",
 			cfg.Rate, cfg.HorizonS, maxRequests)
 	}
+	return cfg, pt, capRate, nil
+}
 
+// runPrepared executes one prepared scenario: service-time-derived
+// fault knobs are resolved here (they need the priced table), then
+// the event loop runs to completion. The resolved fault config is
+// echoed in the record, so a fault run is self-describing.
+func runPrepared(cfg Config, pt *priceTable, capRate float64) *Result {
+	if cfg.Faults != nil {
+		f := *cfg.Faults
+		mean := pt.meanBase(cfg)
+		if f.MaxRetries > 0 && f.RetryBackoffS == 0 {
+			f.RetryBackoffS = mean
+		}
+		if f.Crashes() && f.HeartbeatS == 0 {
+			f.HeartbeatS = mean
+		}
+		cfg.Faults = &f
+	}
 	s := newSim(cfg, pt)
 	s.run()
-	return s.result(capRate), nil
+	return s.result(capRate)
+}
+
+// Run executes one serving scenario to completion and returns its
+// record. See the package comment for the determinism contract.
+func Run(cfg Config) (*Result, error) {
+	cfg, pt, capRate, err := prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return runPrepared(cfg, pt, capRate), nil
 }
 
 // Summary renders the human-readable face of the record.
@@ -434,6 +566,23 @@ func (r *Result) Summary() string {
 	for _, w := range r.Workloads {
 		out += fmt.Sprintf("  %-10s %6d requests, p50 %.3f ms, p99 %.3f ms\n",
 			w.Workload, w.Requests, w.Latency.P50S*1e3, w.Latency.P99S*1e3)
+	}
+	if av := r.Availability; av != nil {
+		var down float64
+		for _, d := range av.PodDowntimeS {
+			down += d
+		}
+		downFrac := 0.0
+		if r.MakespanS > 0 && len(av.PodDowntimeS) > 0 {
+			downFrac = down / (r.MakespanS * float64(len(av.PodDowntimeS)))
+		}
+		out += fmt.Sprintf(
+			"faults: goodput %.1f req/s, completed %d / shed %d / timed out %d / failed %d (late %d)\n"+
+				"        retries %d, hedges %d (%d won), crashes %d, batch errors %d, fleet downtime %.1f%%\n"+
+				"        in-deadline latency p50 %.3f ms  p99 %.3f ms\n",
+			av.Goodput, r.Completed, av.Shed, av.TimedOut, av.Failed, av.Late,
+			av.Retries, av.Hedges, av.HedgesWon, av.Crashes, av.BatchErrors, 100*downFrac,
+			av.LatencyGood.P50S*1e3, av.LatencyGood.P99S*1e3)
 	}
 	return out
 }

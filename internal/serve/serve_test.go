@@ -290,12 +290,14 @@ func TestFullBatchNotStrandedBehindOtherClass(t *testing.T) {
 	s := &sim{cfg: cfg, pt: pt, pods: make([]podState, 1)}
 	s.pods[0].queues = make([][]int, len(cfg.Mix))
 	s.pods[0].deadline = math.Inf(1)
+	s.pods[0].up = true
 	// One class-0 request, then a full class-1 batch shortly after.
 	s.reqs = []request{
-		{class: 0, arrival: 0.001},
-		{class: 1, arrival: 0.002},
-		{class: 1, arrival: 0.003},
+		{class: 0, arrival: 0.001, deadline: math.Inf(1)},
+		{class: 1, arrival: 0.002, deadline: math.Inf(1)},
+		{class: 1, arrival: 0.003, deadline: math.Inf(1)},
 	}
+	s.pending = len(s.reqs)
 	for i, r := range s.reqs {
 		s.push(event{at: r.arrival, kind: evArrival, req: i})
 	}

@@ -4,12 +4,16 @@ import (
 	"container/heap"
 	"math"
 	"sort"
+
+	"cross/internal/faults"
 )
 
 // rng is a splitmix64 PRNG. The simulator owns its generator rather
 // than using math/rand so the determinism contract depends on nothing
 // but this file: the stream for a given seed can never drift with a
-// toolchain upgrade.
+// toolchain upgrade. (The fault model owns separate streams in
+// internal/faults, seeded independently — the same arrival trace
+// replays under different fault seeds and vice versa.)
 type rng struct{ state uint64 }
 
 func (r *rng) next() uint64 {
@@ -36,9 +40,17 @@ func (r *rng) exp(rate float64) float64 {
 // same instant fire in insertion order (seq), which the single
 // sequential loop makes total.
 const (
-	evArrival = iota
-	evDeadline
-	evDone
+	evArrival  = iota
+	evDeadline // batch-hold deadline (MaxDelayS)
+	evDone     // a launch finished on a pod (aux = exec id)
+	evCrash    // pod crash (fault injector)
+	evRecover  // pod recovery
+	evSuspect  // heartbeat timeout: mark a crashed pod down (aux = gen)
+	evSlowOn   // straggler window opens
+	evSlowOff  // straggler window closes
+	evTimeout  // per-request deadline expired (req)
+	evRetry    // backoff elapsed: re-dispatch a lost request (req)
+	evHedge    // hedge delay elapsed for a batch (aux = batch id)
 )
 
 type event struct {
@@ -46,7 +58,8 @@ type event struct {
 	seq  int64
 	kind int
 	pod  int
-	req  int // arrival: request index
+	req  int // request index (arrival/timeout/retry)
+	aux  int // exec id (done), batch id (hedge), pod generation (suspect)
 }
 
 // eventHeap is a min-heap on (time, insertion sequence).
@@ -63,23 +76,70 @@ func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
+// Request states. Terminal states are stDone (delivered within
+// deadline), stLate (delivered after its deadline — already counted
+// timed out), stTimedOut, stShed, and stFailed.
+const (
+	stQueued    = iota // waiting in a pod's class FIFO
+	stInFlight         // member of a running launch
+	stRetryWait        // lost to a crash/batch error; backoff pending
+	stDone
+	stLate
+	stTimedOut
+	stShed
+	stFailed
+)
+
 // request is one offered unit of work.
 type request struct {
-	class   int // mix index
-	arrival float64
-	finish  float64
+	class    int // mix index
+	arrival  float64
+	finish   float64
+	deadline float64 // absolute; +Inf when none
+	state    int
+	pod      int // queue owner while stQueued
+	retries  int // re-dispatches consumed
+}
+
+// exec is one physical launch of a batch on one pod (hedging can run
+// two execs of the same logical batch).
+type exec struct {
+	batch int
+	pod   int
+	start float64
+	svc   float64 // actual (straggler-inflated) service time
+	fails bool    // transient batch error drawn at launch
+	hedge bool
+}
+
+// batchState is one logical batch: the member requests plus the execs
+// still running it.
+type batchState struct {
+	class   int
+	members []int
+	live    []int // exec ids still running
+	won     bool  // delivered (first exec to finish cleanly wins)
+	hedged  bool
 }
 
 // podState is one pod's runtime state: per-class FIFO queues, the
-// running batch, and its share of the run's statistics.
+// running launch, the fault-model state, and its share of the run's
+// statistics.
 type podState struct {
 	queues    [][]int // per-class FIFOs of request indices
 	queued    int
 	backlogS  float64 // estimated queued base work (least-loaded policy)
-	inFlight  []int
 	busy      bool
+	cur       int // exec id + 1 while busy (0 = idle); stale evDone detector
 	busyUntil float64
 	deadline  float64 // earliest armed batching deadline (+Inf when none)
+
+	up        bool    // crashed pods cannot launch
+	suspected bool    // heartbeat timeout fired: dispatch skips the pod
+	gen       int     // crash generation (stale evSuspect detector)
+	slow      float64 // service-time multiplier (1 = healthy)
+	downSince float64
+	downtimeS float64
 
 	served, batches, maxDepth int
 	busyS                     float64
@@ -87,20 +147,30 @@ type podState struct {
 
 // sim is one serving run in flight.
 type sim struct {
-	cfg  Config
-	pt   *priceTable
-	reqs []request
-	pods []podState
-	h    eventHeap
-	seq  int64
-	rr   int // round-robin cursor
+	cfg     Config
+	pt      *priceTable
+	fc      *faults.Config // nil = fault-free (bit-identical legacy path)
+	inj     *faults.Injector
+	reqs    []request
+	pods    []podState
+	execs   []exec
+	batches []batchState
+	h       eventHeap
+	seq     int64
+	rr      int // round-robin cursor
+	pending int // requests not yet in a terminal state
+
+	retries, hedges, hedgesWon, crashes, batchErrors int
+	shed, timedOut, failed, late                     int
 }
 
 func newSim(cfg Config, pt *priceTable) *sim {
-	s := &sim{cfg: cfg, pt: pt, pods: make([]podState, cfg.Pods)}
+	s := &sim{cfg: cfg, pt: pt, fc: cfg.Faults, pods: make([]podState, cfg.Pods)}
 	for i := range s.pods {
 		s.pods[i].queues = make([][]int, len(cfg.Mix))
 		s.pods[i].deadline = math.Inf(1)
+		s.pods[i].up = true
+		s.pods[i].slow = 1
 	}
 
 	// Open-loop arrivals: exponential inter-arrival times at the offered
@@ -110,6 +180,10 @@ func newSim(cfg Config, pt *priceTable) *sim {
 	var sumW float64
 	for _, e := range cfg.Mix {
 		sumW += e.Weight
+	}
+	deadline := math.Inf(1)
+	if s.fc != nil && s.fc.DeadlineS > 0 {
+		deadline = s.fc.DeadlineS
 	}
 	t := 0.0
 	for {
@@ -126,10 +200,26 @@ func newSim(cfg Config, pt *priceTable) *sim {
 			}
 			u -= e.Weight
 		}
-		s.reqs = append(s.reqs, request{class: class, arrival: t})
+		s.reqs = append(s.reqs, request{class: class, arrival: t, deadline: t + deadline})
 	}
+	s.pending = len(s.reqs)
 	for i, r := range s.reqs {
 		s.push(event{at: r.arrival, kind: evArrival, req: i})
+	}
+
+	// Fault timelines: each pod's first crash and first straggler
+	// window, drawn from its own streams (no dependency on the request
+	// stream). Subsequent events chain from the handlers.
+	if s.fc != nil {
+		s.inj = faults.NewInjector(*s.fc, cfg.Pods)
+		for i := range s.pods {
+			if d, ok := s.inj.NextCrashDelay(i); ok {
+				s.push(event{at: d, kind: evCrash, pod: i})
+			}
+			if d, ok := s.inj.NextStragglerDelay(i); ok {
+				s.push(event{at: d, kind: evSlowOn, pod: i})
+			}
+		}
 	}
 	return s
 }
@@ -140,15 +230,33 @@ func (s *sim) push(e event) {
 	heap.Push(&s.h, e)
 }
 
-// dispatch picks the pod a fresh arrival joins.
+// dispatch picks the pod a fresh arrival (or re-dispatch) joins. Pods
+// detected down by a heartbeat timeout are skipped — a just-crashed
+// pod still receives dispatches until its evSuspect fires (no oracle
+// knowledge). If every pod is suspected the filter is dropped: the
+// request queues and waits out the outage.
 func (s *sim) dispatch(req int, now float64) int {
+	eligible := func(i int) bool { return !s.pods[i].suspected }
+	any := false
+	for i := range s.pods {
+		if eligible(i) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		eligible = func(int) bool { return true }
+	}
 	switch s.cfg.Policy {
 	case PolicyLeastLoaded:
 		// Least total outstanding work: remaining service of the running
 		// batch plus the estimated queued work. Ties go to the lowest
 		// index, so the choice is deterministic.
-		best, bestLoad := 0, math.Inf(1)
+		best, bestLoad := -1, math.Inf(1)
 		for i := range s.pods {
+			if !eligible(i) {
+				continue
+			}
 			p := &s.pods[i]
 			load := p.backlogS
 			if p.busy {
@@ -160,25 +268,90 @@ func (s *sim) dispatch(req int, now float64) int {
 		}
 		return best
 	case PolicyJSQ:
-		best, bestLen := 0, math.MaxInt
+		best, bestLen := -1, math.MaxInt
 		for i := range s.pods {
-			if l := s.pods[i].queued + len(s.pods[i].inFlight); l < bestLen {
+			if !eligible(i) {
+				continue
+			}
+			if l := s.pods[i].queued + s.inFlightCount(i); l < bestLen {
 				best, bestLen = i, l
 			}
 		}
 		return best
 	default: // round-robin
-		p := s.rr % s.cfg.Pods
-		s.rr++
-		return p
+		for range s.pods {
+			p := s.rr % s.cfg.Pods
+			s.rr++
+			if eligible(p) {
+				return p
+			}
+		}
+		return s.rr % s.cfg.Pods // unreachable: eligible always admits someone
 	}
+}
+
+// inFlightCount is the number of requests the pod's running launch
+// holds (JSQ counts them as queue occupancy).
+func (s *sim) inFlightCount(pi int) int {
+	p := &s.pods[pi]
+	if !p.busy {
+		return 0
+	}
+	return len(s.batches[s.execs[p.cur-1].batch].members)
+}
+
+// enqueue admits a request into a pod's class FIFO.
+func (s *sim) enqueue(pi, id int) {
+	r := &s.reqs[id]
+	p := &s.pods[pi]
+	r.state = stQueued
+	r.pod = pi
+	p.queues[r.class] = append(p.queues[r.class], id)
+	p.queued++
+	p.backlogS += s.pt.base[r.class]
+	if p.queued > p.maxDepth {
+		p.maxDepth = p.queued
+	}
+}
+
+// dequeue removes a still-queued request (deadline expiry) from its
+// pod's class FIFO, keeping the depth/backlog accounting exact.
+func (s *sim) dequeue(id int) {
+	r := &s.reqs[id]
+	p := &s.pods[r.pod]
+	q := p.queues[r.class]
+	for i, v := range q {
+		if v == id {
+			p.queues[r.class] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	p.queued--
+	p.backlogS -= s.pt.base[r.class]
+	if p.queued == 0 {
+		p.backlogS = 0 // kill float accumulation drift at the fixpoint
+	}
+}
+
+// admit routes a request through dispatch and admission control;
+// sheds when the chosen pod's queue is at the limit.
+func (s *sim) admit(id int, now float64) (pi int, ok bool) {
+	pi = s.dispatch(id, now)
+	if s.fc != nil && s.fc.QueueLimit > 0 && s.pods[pi].queued >= s.fc.QueueLimit {
+		s.reqs[id].state = stShed
+		s.shed++
+		s.pending--
+		return pi, false
+	}
+	s.enqueue(pi, id)
+	return pi, true
 }
 
 // maybeLaunch starts the next batch on an idle pod, or arms a batching
 // deadline when holding the batch open is still allowed.
 func (s *sim) maybeLaunch(pi int, now float64) {
 	p := &s.pods[pi]
-	if p.busy || p.queued == 0 {
+	if p.busy || p.queued == 0 || !p.up {
 		return
 	}
 	// A class is launchable when its batch is full or its head request's
@@ -219,56 +392,296 @@ func (s *sim) maybeLaunch(pi int, now float64) {
 	if b > s.cfg.MaxBatch {
 		b = s.cfg.MaxBatch
 	}
-	batch := append([]int(nil), q[:b]...)
+	members := append([]int(nil), q[:b]...)
 	p.queues[class] = q[b:]
 	p.queued -= b
-	for _, id := range batch {
+	for _, id := range members {
 		p.backlogS -= s.pt.base[s.reqs[id].class]
+		s.reqs[id].state = stInFlight
 	}
 	if p.queued == 0 {
 		p.backlogS = 0 // kill float accumulation drift at the fixpoint
 	}
-	svc := s.pt.svc[class][b-1]
-	p.busy = true
-	p.busyUntil = now + svc
-	p.busyS += svc
-	p.batches++
-	p.inFlight = batch
 	p.deadline = math.Inf(1)
-	s.push(event{at: p.busyUntil, kind: evDone, pod: pi})
+
+	bi := len(s.batches)
+	s.batches = append(s.batches, batchState{class: class, members: members})
+	s.startExec(bi, pi, now, false)
+
+	if s.fc != nil && s.fc.Hedge {
+		delay := s.fc.HedgeDelayS
+		if delay <= 0 {
+			delay = faults.HedgeAutoFactor * s.pt.svc[class][b-1]
+		}
+		s.push(event{at: now + delay, kind: evHedge, aux: bi})
+	}
 }
 
-// run drains the event heap: every offered request is served to
-// completion, so overload manifests as makespan, not loss.
+// startExec launches one physical execution of a batch on a pod:
+// service priced from the table, inflated by an open straggler window,
+// transient-error drawn at launch.
+func (s *sim) startExec(bi, pi int, now float64, hedge bool) {
+	b := &s.batches[bi]
+	svc := s.pt.svc[b.class][len(b.members)-1]
+	p := &s.pods[pi]
+	if p.slow > 1 {
+		svc *= p.slow
+	}
+	ei := len(s.execs)
+	fails := false
+	if s.fc != nil {
+		fails = s.inj.LaunchFails()
+	}
+	s.execs = append(s.execs, exec{batch: bi, pod: pi, start: now, svc: svc, fails: fails, hedge: hedge})
+	b.live = append(b.live, ei)
+	p.busy = true
+	p.cur = ei + 1
+	p.busyUntil = now + svc
+	p.batches++
+	s.push(event{at: p.busyUntil, kind: evDone, pod: pi, aux: ei})
+}
+
+// deliver completes a batch: every member still pending finishes now;
+// members that already timed out are delivered late (counted, but not
+// completed).
+func (s *sim) deliver(bi, pi int, now float64) {
+	b := &s.batches[bi]
+	s.pods[pi].served += len(b.members)
+	for _, id := range b.members {
+		r := &s.reqs[id]
+		r.finish = now
+		switch r.state {
+		case stInFlight:
+			r.state = stDone
+			s.pending--
+		case stTimedOut:
+			r.state = stLate
+			s.late++
+		}
+	}
+}
+
+// loseBatch handles a batch whose every exec is gone (crash or batch
+// error) without a delivery: members re-enter dispatch after backoff,
+// or fail once their retry budget is spent.
+func (s *sim) loseBatch(bi int, now float64) {
+	b := &s.batches[bi]
+	for _, id := range b.members {
+		r := &s.reqs[id]
+		if r.state != stInFlight {
+			continue // already timed out
+		}
+		if r.retries < s.fc.MaxRetries {
+			r.retries++
+			s.retries++
+			r.state = stRetryWait
+			s.push(event{at: now + s.inj.RetryBackoff(r.retries), kind: evRetry, req: id})
+		} else {
+			r.state = stFailed
+			s.failed++
+			s.pending--
+		}
+	}
+}
+
+// finishExec retires a completed exec: a clean finish wins the batch
+// (first-wins — the other exec, if any, is cancelled and its pod freed
+// immediately); a transient error that leaves no exec alive loses it.
+func (s *sim) finishExec(ei int, now float64) {
+	ex := &s.execs[ei]
+	p := &s.pods[ex.pod]
+	p.busy = false
+	p.cur = 0
+	p.busyS += ex.svc
+	b := &s.batches[ex.batch]
+	b.live = removeInt(b.live, ei)
+	if ex.fails {
+		s.batchErrors++
+		if !b.won && len(b.live) == 0 {
+			s.loseBatch(ex.batch, now)
+		}
+	} else if !b.won {
+		b.won = true
+		if ex.hedge {
+			s.hedgesWon++
+		}
+		s.deliver(ex.batch, ex.pod, now)
+		for _, oi := range b.live {
+			o := &s.execs[oi]
+			op := &s.pods[o.pod]
+			if op.cur == oi+1 { // still running it: cancel, free the pod
+				op.busy = false
+				op.cur = 0
+				op.busyS += now - o.start
+				s.maybeLaunch(o.pod, now)
+			}
+		}
+		b.live = nil
+	}
+	s.maybeLaunch(ex.pod, now)
+}
+
+// crashPod loses the pod's running exec (if any) and schedules
+// detection and recovery. Dispatch keeps routing to the pod until the
+// heartbeat timeout fires — those are the bounded doomed dispatches.
+func (s *sim) crashPod(pi int, now float64) {
+	p := &s.pods[pi]
+	p.up = false
+	p.gen++
+	p.downSince = now
+	s.crashes++
+	if p.busy {
+		ei := p.cur - 1
+		ex := &s.execs[ei]
+		p.busy = false
+		p.cur = 0
+		p.busyS += now - ex.start
+		b := &s.batches[ex.batch]
+		b.live = removeInt(b.live, ei)
+		if !b.won && len(b.live) == 0 {
+			s.loseBatch(ex.batch, now)
+		}
+	}
+	p.deadline = math.Inf(1)
+	s.push(event{at: now + s.fc.HeartbeatS, kind: evSuspect, pod: pi, aux: p.gen})
+	s.push(event{at: now + s.inj.RecoverDelay(pi), kind: evRecover, pod: pi})
+}
+
+// suspectPod is the heartbeat timeout: if the pod is still down, mark
+// it for dispatch avoidance and re-route everything queued on it.
+func (s *sim) suspectPod(pi, gen int, now float64) {
+	p := &s.pods[pi]
+	if p.up || p.gen != gen {
+		return // recovered before detection: stale timeout
+	}
+	p.suspected = true
+	for c := range p.queues {
+		q := p.queues[c]
+		p.queues[c] = nil
+		for _, id := range q {
+			p.queued--
+			p.backlogS -= s.pt.base[s.reqs[id].class]
+			if target, ok := s.admit(id, now); ok {
+				s.maybeLaunch(target, now)
+			}
+		}
+	}
+	if p.queued == 0 {
+		p.backlogS = 0 // all-suspected fallback can re-queue onto this pod
+	}
+}
+
+// run drains the event heap. Fault-free, every offered request is
+// served to completion, so overload manifests as makespan, not loss;
+// under faults, requests resolve as completed, shed, timed out, or
+// failed, and the self-perpetuating fault timelines stop rescheduling
+// once no request remains pending (so the heap still drains).
 func (s *sim) run() {
 	for s.h.Len() > 0 {
 		e := heap.Pop(&s.h).(event)
 		switch e.kind {
 		case evArrival:
-			r := &s.reqs[e.req]
-			pi := s.dispatch(e.req, e.at)
-			p := &s.pods[pi]
-			p.queues[r.class] = append(p.queues[r.class], e.req)
-			p.queued++
-			p.backlogS += s.pt.base[r.class]
-			if p.queued > p.maxDepth {
-				p.maxDepth = p.queued
+			pi, ok := s.admit(e.req, e.at)
+			if !ok {
+				break
+			}
+			if d := s.reqs[e.req].deadline; !math.IsInf(d, 1) {
+				s.push(event{at: d, kind: evTimeout, req: e.req})
 			}
 			s.maybeLaunch(pi, e.at)
 		case evDeadline:
 			s.pods[e.pod].deadline = math.Inf(1)
 			s.maybeLaunch(e.pod, e.at)
 		case evDone:
-			p := &s.pods[e.pod]
-			for _, id := range p.inFlight {
-				s.reqs[id].finish = e.at
+			if s.pods[e.pod].cur != e.aux+1 {
+				break // stale: the exec was cancelled or lost to a crash
 			}
-			p.served += len(p.inFlight)
-			p.inFlight = nil
-			p.busy = false
+			s.finishExec(e.aux, e.at)
+		case evCrash:
+			if s.pending == 0 {
+				break // run resolved: let the fault timeline die out
+			}
+			s.crashPod(e.pod, e.at)
+		case evRecover:
+			p := &s.pods[e.pod]
+			p.up = true
+			p.suspected = false
+			p.downtimeS += e.at - p.downSince
+			if s.pending > 0 {
+				if d, ok := s.inj.NextCrashDelay(e.pod); ok {
+					s.push(event{at: e.at + d, kind: evCrash, pod: e.pod})
+				}
+			}
 			s.maybeLaunch(e.pod, e.at)
+		case evSuspect:
+			s.suspectPod(e.pod, e.aux, e.at)
+		case evSlowOn:
+			if s.pending == 0 {
+				break
+			}
+			p := &s.pods[e.pod]
+			p.slow = s.fc.StragglerFactor
+			s.push(event{at: e.at + s.inj.StragglerDuration(e.pod), kind: evSlowOff, pod: e.pod})
+		case evSlowOff:
+			p := &s.pods[e.pod]
+			p.slow = 1
+			if s.pending > 0 {
+				if d, ok := s.inj.NextStragglerDelay(e.pod); ok {
+					s.push(event{at: e.at + d, kind: evSlowOn, pod: e.pod})
+				}
+			}
+		case evTimeout:
+			r := &s.reqs[e.req]
+			switch r.state {
+			case stQueued:
+				s.dequeue(e.req)
+				r.state = stTimedOut
+				s.timedOut++
+				s.pending--
+			case stInFlight, stRetryWait:
+				r.state = stTimedOut
+				s.timedOut++
+				s.pending--
+			}
+		case evRetry:
+			r := &s.reqs[e.req]
+			if r.state != stRetryWait {
+				break // timed out while backing off
+			}
+			if pi, ok := s.admit(e.req, e.at); ok {
+				s.maybeLaunch(pi, e.at)
+			}
+		case evHedge:
+			b := &s.batches[e.aux]
+			if b.won || b.hedged || len(b.live) == 0 {
+				break // already done, already hedged, or lost (retry path owns it)
+			}
+			primary := s.execs[b.live[0]].pod
+			hp := -1
+			for i := range s.pods {
+				p := &s.pods[i]
+				if i != primary && p.up && !p.suspected && !p.busy {
+					hp = i
+					break
+				}
+			}
+			if hp == -1 {
+				break // no spare capacity: hedge forfeited
+			}
+			b.hedged = true
+			s.hedges++
+			s.startExec(e.aux, hp, e.at, true)
 		}
 	}
+}
+
+func removeInt(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
 }
 
 // latencyStats summarises a sorted latency slice with nearest-rank
@@ -298,26 +711,35 @@ func latencyStats(sorted []float64) LatencyStats {
 	}
 }
 
-// result assembles the stable record after the run drains.
+// result assembles the stable record after the run drains. Completed
+// is derived by counting requests that actually finished within their
+// deadline — never assumed from the arrival count.
 func (s *sim) result(capacityRate float64) *Result {
 	r := &Result{
 		Config:       s.cfg,
 		CapacityRate: capacityRate,
 		OfferedRate:  s.cfg.Rate,
 		Requests:     len(s.reqs),
-		Completed:    len(s.reqs),
 	}
 
 	lats := make([]float64, 0, len(s.reqs))
+	good := make([]float64, 0, len(s.reqs))
 	perClass := make([][]float64, len(s.cfg.Mix))
 	for i := range s.reqs {
 		req := &s.reqs[i]
 		if req.finish > r.MakespanS {
 			r.MakespanS = req.finish
 		}
+		if req.state != stDone && req.state != stLate {
+			continue // never delivered: no latency sample
+		}
 		l := req.finish - req.arrival
 		lats = append(lats, l)
 		perClass[req.class] = append(perClass[req.class], l)
+		if req.state == stDone {
+			r.Completed++
+			good = append(good, l)
+		}
 	}
 	sort.Float64s(lats)
 	r.Latency = latencyStats(lats)
@@ -342,7 +764,7 @@ func (s *sim) result(capacityRate float64) *Result {
 		}
 	}
 	if batches > 0 {
-		r.MeanBatch = float64(r.Completed) / float64(batches)
+		r.MeanBatch = float64(r.Completed+s.late) / float64(batches)
 	}
 
 	for w, e := range s.cfg.Mix {
@@ -352,6 +774,33 @@ func (s *sim) result(capacityRate float64) *Result {
 			Requests: len(perClass[w]),
 			Latency:  latencyStats(perClass[w]),
 		})
+	}
+
+	if s.fc != nil {
+		sort.Float64s(good)
+		av := &AvailabilityStats{
+			Goodput:      r.AchievedRate,
+			Shed:         s.shed,
+			TimedOut:     s.timedOut,
+			Failed:       s.failed,
+			Late:         s.late,
+			Retries:      s.retries,
+			Hedges:       s.hedges,
+			HedgesWon:    s.hedgesWon,
+			Crashes:      s.crashes,
+			BatchErrors:  s.batchErrors,
+			PodDowntimeS: make([]float64, len(s.pods)),
+			LatencyGood:  latencyStats(good),
+		}
+		for i := range s.pods {
+			p := &s.pods[i]
+			d := p.downtimeS
+			if !p.up && r.MakespanS > p.downSince {
+				d += r.MakespanS - p.downSince // still down at the end of the run
+			}
+			av.PodDowntimeS[i] = d
+		}
+		r.Availability = av
 	}
 	return r
 }

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+	"testing"
+)
+
+// FuzzEventHeapOrder: whatever order events are pushed in, the heap
+// pops them in the total (time, seq) order the determinism contract
+// depends on — ties on time always break by sequence number.
+func FuzzEventHeapOrder(f *testing.F) {
+	f.Add([]byte{0}, uint8(3))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(0))
+	f.Add([]byte{255, 0, 255, 0, 255, 0, 255, 0}, uint8(7))
+	f.Fuzz(func(t *testing.T, raw []byte, rot uint8) {
+		if len(raw) == 0 || len(raw) > 512 {
+			t.Skip()
+		}
+		// Decode events from the fuzz bytes: coarse times force
+		// same-time collisions so the seq tiebreak is actually hit.
+		var evs []event
+		for i := 0; i+1 < len(raw); i += 2 {
+			evs = append(evs, event{
+				at:   float64(raw[i]%16) * 0.25,
+				seq:  int64(raw[i+1]),
+				kind: int(raw[i] % 11),
+			})
+		}
+		if len(evs) == 0 {
+			t.Skip()
+		}
+
+		pop := func(h eventHeap) []event {
+			heap.Init(&h)
+			out := make([]event, 0, h.Len())
+			for h.Len() > 0 {
+				out = append(out, heap.Pop(&h).(event))
+			}
+			return out
+		}
+		a := pop(append(eventHeap(nil), evs...))
+		// A rotated push order must pop identically.
+		r := int(rot) % len(evs)
+		b := pop(append(append(eventHeap(nil), evs[r:]...), evs[:r]...))
+
+		for i := 1; i < len(a); i++ {
+			if a[i].at < a[i-1].at || (a[i].at == a[i-1].at && a[i].seq < a[i-1].seq) {
+				t.Fatalf("pop %d out of order: (%g, %d) after (%g, %d)",
+					i, a[i].at, a[i].seq, a[i-1].at, a[i-1].seq)
+			}
+		}
+		for i := range a {
+			if a[i].at != b[i].at || a[i].seq != b[i].seq {
+				t.Fatalf("pop order depends on push order at %d: (%g, %d) vs (%g, %d)",
+					i, a[i].at, a[i].seq, b[i].at, b[i].seq)
+			}
+		}
+	})
+}
+
+// TestLatencyStatsQuantiles pins the nearest-rank definition
+// (index ⌈p·n⌉ − 1 of the sorted sample) at its edges.
+func TestLatencyStatsQuantiles(t *testing.T) {
+	ramp := func(n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(i + 1) // sorted: 1, 2, …, n
+		}
+		return v
+	}
+	for _, tc := range []struct {
+		name               string
+		in                 []float64
+		p50, p95, p99, max float64
+		mean               float64
+	}{
+		{"empty", nil, 0, 0, 0, 0, 0},
+		{"n=1", []float64{4.5}, 4.5, 4.5, 4.5, 4.5, 4.5},
+		{"n=2 p50 is the lower sample", []float64{1, 3}, 1, 3, 3, 3, 2},
+		{"all equal", []float64{7, 7, 7, 7, 7}, 7, 7, 7, 7, 7},
+		// n=100: ⌈0.5·100⌉−1 = 49 → 50; ⌈0.95·100⌉−1 = 94 → 95;
+		// ⌈0.99·100⌉−1 = 98 → 99 (not the max).
+		{"n=100 exact ranks", ramp(100), 50, 95, 99, 100, 50.5},
+		// n=101: every ⌈p·n⌉ rounds up — p50 → index 50 → 51.
+		{"n=101 round up", ramp(101), 51, 96, 100, 101, 51},
+		// n=10: p99 collapses onto the max.
+		{"n=10 p99 is max", ramp(10), 5, 10, 10, 10, 5.5},
+	} {
+		got := latencyStats(tc.in)
+		if got.P50S != tc.p50 || got.P95S != tc.p95 || got.P99S != tc.p99 || got.MaxS != tc.max {
+			t.Errorf("%s: got p50=%g p95=%g p99=%g max=%g, want %g/%g/%g/%g",
+				tc.name, got.P50S, got.P95S, got.P99S, got.MaxS, tc.p50, tc.p95, tc.p99, tc.max)
+		}
+		if math.Abs(got.MeanS-tc.mean) > 1e-12 {
+			t.Errorf("%s: mean %g, want %g", tc.name, got.MeanS, tc.mean)
+		}
+	}
+}
+
+// TestLatencyStatsMonotoneInP: on any sorted sample the nearest-rank
+// quantiles are non-decreasing in p and bounded by the extremes.
+func TestLatencyStatsMonotoneInP(t *testing.T) {
+	rng := newSplitmix(42)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + int(rng.next()%40)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(rng.next()%1000) / 100
+		}
+		sort.Float64s(v)
+		s := latencyStats(v)
+		if !(s.P50S <= s.P95S && s.P95S <= s.P99S && s.P99S <= s.MaxS) {
+			t.Fatalf("n=%d: quantiles not monotone: %+v", n, s)
+		}
+		if s.P50S < v[0] || s.MaxS != v[n-1] {
+			t.Fatalf("n=%d: quantiles escape the sample range: %+v", n, s)
+		}
+	}
+}
+
+// newSplitmix gives the internal tests a tiny deterministic generator
+// without importing the fault package into this file's dependencies.
+type splitmix struct{ s uint64 }
+
+func newSplitmix(s uint64) *splitmix { return &splitmix{s: s} }
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
