@@ -622,11 +622,56 @@ type ServeResult = serve.Result
 // stream.
 type ServeMixEntry = serve.MixEntry
 
+// ServeFleetGroup is one homogeneous slice of a heterogeneous fleet:
+// a device, its per-pod core count, how many pods, and an hourly
+// price (0 resolves to the built-in per-device default).
+// ServeConfig.Fleet lists the groups; pods are numbered in
+// declaration order.
+type ServeFleetGroup = serve.FleetGroup
+
+// ServeSLOClass is one service class: a name referenced from
+// ServeMixEntry.Class, a strict (non-preemptive) priority, an
+// optional per-class deadline, and an optional fleet-wide admission
+// limit on queued requests of the class.
+type ServeSLOClass = serve.SLOClass
+
+// ServeTraceEvent is one recorded arrival for trace-replay mode:
+// an absolute arrival time and a workload name.
+type ServeTraceEvent = serve.TraceEvent
+
+// ServeClassStats is the per-SLO-class section of a serve record.
+type ServeClassStats = serve.ClassStats
+
+// ServeCostStats is the fleet-economics section of a serve record:
+// hourly price, requests/sec per dollar/hour, and dollars per million
+// requests at the achieved rate.
+type ServeCostStats = serve.CostStats
+
+// ServeLoadTrace reads an arrival trace for ServeConfig.TraceEvents
+// from a JSON array of {"t","workload"} objects or a "t,workload" CSV
+// (header and #-comment lines are skipped).
+func ServeLoadTrace(path string) ([]ServeTraceEvent, error) { return serve.LoadTrace(path) }
+
+// ServeParseFleet parses a fleet spec "device:cores:count[:dollar]"
+// with groups joined by "+", e.g. "TPUv6e:1:4+H100:8:2:64".
+func ServeParseFleet(s string) ([]ServeFleetGroup, error) { return serve.ParseFleet(s) }
+
+// ServeParseFleets parses a comma-separated list of fleet specs (see
+// ServeParseFleet) into candidate fleets for ServePlan.
+func ServeParseFleets(s string) ([][]ServeFleetGroup, error) { return serve.ParseFleets(s) }
+
 // Dispatch policies for ServeConfig.Policy.
 const (
 	ServeRoundRobin  = serve.PolicyRoundRobin
 	ServeLeastLoaded = serve.PolicyLeastLoaded
 	ServeJSQ         = serve.PolicyJSQ
+	ServeCheapest    = serve.PolicyCheapest
+)
+
+// Latency-statistics modes for ServeConfig.Stats.
+const (
+	ServeStatsStored    = serve.StatsStored
+	ServeStatsStreaming = serve.StatsStreaming
 )
 
 // Serve executes one serving scenario of the discrete-event simulator
@@ -667,6 +712,25 @@ type ServeChaosResult = serve.ChaosResult
 // deterministic serve run per cell measures how goodput and the
 // in-deadline tail degrade as crashes become more frequent.
 func ServeChaos(cc ServeChaosConfig) (*ServeChaosResult, error) { return serve.Chaos(cc) }
+
+// ServePlanConfig is one capacity-planning question: a base serving
+// scenario, a set of candidate fleets (empty = a 1/2/4/8-pod ladder of
+// the base device), and a target p99 in seconds.
+type ServePlanConfig = serve.PlanConfig
+
+// ServePlanPoint is one candidate fleet's operating point: the highest
+// offered rate whose delivered p99 meets the target, and what a
+// request costs there.
+type ServePlanPoint = serve.PlanPoint
+
+// ServePlanResult is the capacity-planning frontier, best
+// requests/sec/dollar first (infeasible candidates last).
+type ServePlanResult = serve.PlanResult
+
+// ServePlan answers "requests/sec/dollar at p99 ≤ X" for each
+// candidate fleet by deterministically bisecting the offered rate and
+// running the full simulator at every probe.
+func ServePlan(pc ServePlanConfig) (*ServePlanResult, error) { return serve.Plan(pc) }
 
 // EstimateMNIST estimates the §V-D MNIST CNN latency on a compiler.
 func EstimateMNIST(c *Compiler) (total, perImage float64) {

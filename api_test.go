@@ -376,6 +376,86 @@ func TestServeFaultsFacade(t *testing.T) {
 	}
 }
 
+func TestServeFleetFacade(t *testing.T) {
+	fleet, err := ServeParseFleet("TPUv6e:1:2+H100:1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Serve(ServeConfig{
+		Seed: 2, Fleet: fleet, Policy: ServeCheapest,
+		HorizonS: 0.02, MaxBatch: 4, Stats: ServeStatsStreaming,
+		Mix: []ServeMixEntry{{Workload: "HE-Mult", Weight: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed != r.Requests || r.Cost == nil || r.Cost.DollarPerHour <= 0 {
+		t.Fatalf("hetero-fleet facade run degenerate: %d/%d cost %+v", r.Completed, r.Requests, r.Cost)
+	}
+	if _, err := ServeParseFleets("TPUv6e:1:1,bogus"); err == nil {
+		t.Error("malformed fleet list accepted")
+	}
+}
+
+func TestServeSLOAndTraceFacade(t *testing.T) {
+	r, err := Serve(ServeConfig{
+		Seed: 2, Spec: "TPUv5e", Pods: 2, HorizonS: 0.02, MaxBatch: 4,
+		Mix: []ServeMixEntry{
+			{Workload: "HE-Mult", Weight: 2, Class: "interactive"},
+			{Workload: "MNIST", Weight: 1, Class: "batch"},
+		},
+		Classes: []ServeSLOClass{
+			{Name: "interactive", Priority: 5},
+			{Name: "batch"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Classes) != 2 || r.Classes[0].Class != "interactive" {
+		t.Fatalf("class sections malformed: %+v", r.Classes)
+	}
+	tr, err := Serve(ServeConfig{
+		Seed: 2, Spec: "TPUv5e", Pods: 1, MaxBatch: 2,
+		TraceEvents: []ServeTraceEvent{
+			{T: 0.001, Workload: "HE-Mult"},
+			{T: 0.002, Workload: "HE-Mult"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Requests != 2 || tr.Completed != 2 {
+		t.Fatalf("trace facade run degenerate: %+v", tr)
+	}
+	if _, err := ServeLoadTrace("/nonexistent/trace.json"); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestServePlanFacade(t *testing.T) {
+	pr, err := ServePlan(ServePlanConfig{
+		Base: ServeConfig{
+			Seed: 2, Spec: "TPUv5e", HorizonS: 0.02, MaxBatch: 4,
+			Mix: []ServeMixEntry{{Workload: "HE-Mult", Weight: 1}},
+		},
+		Fleets:     [][]ServeFleetGroup{{{Device: "TPUv5e", Cores: 1, Count: 2}}},
+		TargetP99S: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Points) != 1 || !pr.Points[0].Feasible || pr.Points[0].RPSPerDollarHour <= 0 {
+		t.Fatalf("plan facade frontier malformed: %+v", pr.Points)
+	}
+	if pr.Summary() == "" {
+		t.Error("empty plan summary")
+	}
+	if _, err := ServePlan(ServePlanConfig{TargetP99S: 0}); err == nil {
+		t.Error("zero plan target accepted")
+	}
+}
+
 func TestCalibFacade(t *testing.T) {
 	// PredictKernel prices every calibration kernel on any target, and
 	// a non-default Calibration changes the price.

@@ -39,8 +39,15 @@
 //	crossbench -serve -faults -mtbf 0.05 -retries 3 -hedge   # fault injection + recovery
 //	crossbench -serve -faults -deadline 0.02 -shed 32        # deadlines + load shedding
 //	crossbench -serve -faults -straggler 8 -fault-seed 9     # transient stragglers
+//	crossbench -serve -fleet "TPUv6e:1:4+H100:1:2"           # heterogeneous fleet + cost section
+//	crossbench -serve -fleet "TPUv6e:1:4+H100:1:2" -policy cheapest
+//	crossbench -serve -trace arrivals.csv     # replay a recorded arrival trace
+//	crossbench -serve -stats streaming -rate 50000 -horizon 30  # O(1)-memory long horizon
+//	crossbench -serve -classes "interactive:10:0.02,batch:0" -mix "HE-Mult=0.6@interactive,MNIST=0.4@batch"
 //	crossbench -chaos                         # goodput vs crash-MTBF grid (availability curve)
 //	crossbench -chaos -retries 3 -hedge -deadline 0.05 -json
+//	crossbench -plan -slo 0.02                # capacity plan: req/s/$ ladder of the base device
+//	crossbench -plan -slo 0.02 -fleets "TPUv6e:1:4,TPUv6e:1:2+H100:1:1"
 //	crossbench -json [...]     # machine-readable output (any mode)
 //
 // With -json the tool emits JSON instead of the formatted tables:
@@ -258,7 +265,8 @@ func fitWorkers(parallel int) int {
 }
 
 // parseMix parses "-mix HE-Mult=0.6,Rotate=0.3,MNIST=0.1" into the
-// serve mix schema.
+// serve mix schema. A weight may carry an SLO-class binding after
+// "@": "HE-Mult=0.6@interactive" (the class must appear in -classes).
 func parseMix(s string) ([]cross.ServeMixEntry, error) {
 	var mix []cross.ServeMixEntry
 	for _, part := range strings.Split(s, ",") {
@@ -266,13 +274,43 @@ func parseMix(s string) ([]cross.ServeMixEntry, error) {
 		if !ok {
 			return nil, fmt.Errorf("mix entry %q is not workload=weight", part)
 		}
+		weight, class, _ := strings.Cut(weight, "@")
 		w, err := strconv.ParseFloat(weight, 64)
 		if err != nil {
 			return nil, fmt.Errorf("mix entry %q: %w", part, err)
 		}
-		mix = append(mix, cross.ServeMixEntry{Workload: wl, Weight: w})
+		mix = append(mix, cross.ServeMixEntry{Workload: wl, Weight: w, Class: class})
 	}
 	return mix, nil
+}
+
+// parseClasses parses "-classes name:priority[:deadline_s[:queue_limit]]"
+// entries, comma-separated: "interactive:10:0.02,batch:0".
+func parseClasses(s string) ([]cross.ServeSLOClass, error) {
+	var classes []cross.ServeSLOClass
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 || len(fields) > 4 {
+			return nil, fmt.Errorf("class %q is not name:priority[:deadline_s[:queue_limit]]", part)
+		}
+		c := cross.ServeSLOClass{Name: fields[0]}
+		var err error
+		if c.Priority, err = strconv.Atoi(fields[1]); err != nil {
+			return nil, fmt.Errorf("class %q priority: %w", part, err)
+		}
+		if len(fields) >= 3 {
+			if c.DeadlineS, err = strconv.ParseFloat(fields[2], 64); err != nil {
+				return nil, fmt.Errorf("class %q deadline: %w", part, err)
+			}
+		}
+		if len(fields) == 4 {
+			if c.QueueLimit, err = strconv.Atoi(fields[3]); err != nil {
+				return nil, fmt.Errorf("class %q queue limit: %w", part, err)
+			}
+		}
+		classes = append(classes, c)
+	}
+	return classes, nil
 }
 
 // writeJSON writes any record to path with the stdout JSON encoding.
@@ -335,6 +373,27 @@ func runChaos(cc cross.ServeChaosConfig, out string, asJSON bool) {
 	fmt.Print(r.Summary())
 }
 
+// runPlan handles -plan: sweep the candidate fleets for the highest
+// rate meeting the p99 target and emit the req/s/$ frontier.
+func runPlan(pc cross.ServePlanConfig, out string, asJSON bool) {
+	r, err := cross.ServePlan(pc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crossbench:", err)
+		os.Exit(1)
+	}
+	if out != "" {
+		if err := writeJSON(out, r); err != nil {
+			fmt.Fprintln(os.Stderr, "crossbench:", err)
+			os.Exit(1)
+		}
+	}
+	if asJSON {
+		emitJSON(r)
+		return
+	}
+	fmt.Print(r.Summary())
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
 	experiment := flag.String("experiment", "", "run a single experiment by identifier")
@@ -347,10 +406,17 @@ func main() {
 	repeats := flag.Int("repeats", 0, "calib: raw timing samples per host measurement point (default 5)")
 	refreshBaselines := flag.Bool("refresh-baselines", false, "rewrite all three committed baselines (BENCH_baseline.json, BENCH_host.json, BENCH_calib.json) from one fresh run")
 	serveMode := flag.Bool("serve", false, "run the discrete-event serving simulator")
+	planMode := flag.Bool("plan", false, `capacity planner: highest req/s meeting -slo per candidate fleet, ranked by req/s/$`)
+	fleet := flag.String("fleet", "", `serve: heterogeneous fleet "device:cores:count[:dollar_hr]" groups joined by "+" (replaces -device/-pods/-cores)`)
+	fleets := flag.String("fleets", "", `plan: comma-separated candidate fleet specs (default 1/2/4/8-pod ladder of -device)`)
+	slo := flag.Float64("slo", 0, "plan: target p99 latency in seconds")
+	classes := flag.String("classes", "", `serve: SLO classes "name:priority[:deadline_s[:queue_limit]]", comma-separated; bind mix entries with weight@class`)
+	trace := flag.String("trace", "", "serve: replay arrivals from a JSON or CSV trace file instead of the Poisson source")
+	stats := flag.String("stats", "", "serve: latency statistics mode — stored (exact, default) or streaming (O(1) memory for long horizons)")
 	rate := flag.Float64("rate", 0, "serve: offered load in requests/s (0 = 70% of fleet capacity)")
 	pods := flag.Int("pods", 0, "serve: fleet size in pods (default 4)")
 	podCores := flag.Int("cores", 0, "serve: cores per pod (default 1)")
-	policy := flag.String("policy", "", "serve: dispatch policy (round-robin, least-loaded, jsq)")
+	policy := flag.String("policy", "", "serve: dispatch policy (round-robin, least-loaded, jsq, cheapest)")
 	seed := flag.Int64("seed", 0, "serve: arrival PRNG seed (default 1)")
 	horizon := flag.Float64("horizon", 0, "serve: arrival window in simulated seconds (default 0.25)")
 	batch := flag.Int("batch", 0, "serve: max batch size per launch (default 8; 1 disables batching)")
@@ -395,7 +461,7 @@ func main() {
 			setSet = true
 		case "repeats":
 			repeatsSet = true
-		case "rate", "pods", "cores", "policy", "seed", "horizon", "batch", "delay", "mix", "overlap":
+		case "rate", "pods", "cores", "policy", "seed", "horizon", "batch", "delay", "mix", "overlap", "classes":
 			serveFlagSet = f.Name
 		case "fault-seed", "mtbf", "mttr", "straggler", "batcherr", "deadline", "retries", "hedge", "shed":
 			faultFlagSet = f.Name
@@ -404,42 +470,58 @@ func main() {
 	// -hostbench and -calib pair with -compare (their respective gates);
 	// every other top-level mode is mutually exclusive.
 	exclusive := 0
-	for _, on := range []bool{*scaling, *sweepMode, *hostbenchMode, *calibMode, *refreshBaselines, *serveMode, *chaosMode,
+	for _, on := range []bool{*scaling, *sweepMode, *hostbenchMode, *calibMode, *refreshBaselines, *serveMode, *chaosMode, *planMode,
 		*compare != "" && !*hostbenchMode && !*calibMode, *list, *experiment != "", *versus != ""} {
 		if on {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		fmt.Fprintln(os.Stderr, "crossbench: -scaling, -sweep, -hostbench, -calib, -refresh-baselines, -serve, -chaos, -compare, -versus, -list and -experiment are mutually exclusive (except -hostbench/-calib with -compare)")
+		fmt.Fprintln(os.Stderr, "crossbench: -scaling, -sweep, -hostbench, -calib, -refresh-baselines, -serve, -chaos, -plan, -compare, -versus, -list and -experiment are mutually exclusive (except -hostbench/-calib with -compare)")
 		os.Exit(1)
 	}
-	if deviceSet && !*scaling && !*serveMode && !*chaosMode {
-		fmt.Fprintln(os.Stderr, "crossbench: -device only applies to -scaling, -serve and -chaos")
+	if deviceSet && !*scaling && !*serveMode && !*chaosMode && !*planMode {
+		fmt.Fprintln(os.Stderr, "crossbench: -device only applies to -scaling, -serve, -chaos and -plan")
 		os.Exit(1)
 	}
-	if setSet && !*serveMode && !*chaosMode && *versus == "" {
-		fmt.Fprintln(os.Stderr, "crossbench: -set only applies to -serve, -chaos and -versus")
+	if setSet && !*serveMode && !*chaosMode && !*planMode && *versus == "" {
+		fmt.Fprintln(os.Stderr, "crossbench: -set only applies to -serve, -chaos, -plan and -versus")
 		os.Exit(1)
 	}
 	if thresholdSet && *compare == "" {
 		fmt.Fprintln(os.Stderr, "crossbench: -threshold only applies to -compare")
 		os.Exit(1)
 	}
-	if parallelSet && (*hostbenchMode || (!*sweepMode && !*serveMode && !*chaosMode && !*calibMode && !*refreshBaselines && *compare == "")) {
-		fmt.Fprintln(os.Stderr, "crossbench: -parallel only applies to -sweep, -serve, -chaos, -calib, -refresh-baselines and sweep -compare")
+	if parallelSet && (*hostbenchMode || (!*sweepMode && !*serveMode && !*chaosMode && !*planMode && !*calibMode && !*refreshBaselines && *compare == "")) {
+		fmt.Fprintln(os.Stderr, "crossbench: -parallel only applies to -sweep, -serve, -chaos, -plan, -calib, -refresh-baselines and sweep -compare")
 		os.Exit(1)
 	}
-	if outSet && !*sweepMode && !*hostbenchMode && !*calibMode && !*serveMode && !*chaosMode && *compare == "" && *versus == "" {
-		fmt.Fprintln(os.Stderr, "crossbench: -out only applies to -sweep, -hostbench, -calib, -serve, -chaos, -compare and -versus")
+	if outSet && !*sweepMode && !*hostbenchMode && !*calibMode && !*serveMode && !*chaosMode && !*planMode && *compare == "" && *versus == "" {
+		fmt.Fprintln(os.Stderr, "crossbench: -out only applies to -sweep, -hostbench, -calib, -serve, -chaos, -plan, -compare and -versus")
 		os.Exit(1)
 	}
 	if repeatsSet && !*calibMode && !*refreshBaselines {
 		fmt.Fprintln(os.Stderr, "crossbench: -repeats only applies to -calib and -refresh-baselines")
 		os.Exit(1)
 	}
-	if serveFlagSet != "" && !*serveMode && !*chaosMode {
-		fmt.Fprintf(os.Stderr, "crossbench: -%s only applies to -serve and -chaos\n", serveFlagSet)
+	if serveFlagSet != "" && !*serveMode && !*chaosMode && !*planMode {
+		fmt.Fprintf(os.Stderr, "crossbench: -%s only applies to -serve, -chaos and -plan\n", serveFlagSet)
+		os.Exit(1)
+	}
+	if *fleet != "" && !*serveMode && !*chaosMode {
+		fmt.Fprintln(os.Stderr, "crossbench: -fleet only applies to -serve and -chaos (-plan takes -fleets)")
+		os.Exit(1)
+	}
+	if *trace != "" && !*serveMode {
+		fmt.Fprintln(os.Stderr, "crossbench: -trace only applies to -serve")
+		os.Exit(1)
+	}
+	if *stats != "" && !*serveMode {
+		fmt.Fprintln(os.Stderr, "crossbench: -stats only applies to -serve")
+		os.Exit(1)
+	}
+	if (*fleets != "" || *slo != 0) && !*planMode {
+		fmt.Fprintln(os.Stderr, "crossbench: -fleets and -slo only apply to -plan")
 		os.Exit(1)
 	}
 	if *faultsMode && !*serveMode {
@@ -466,14 +548,24 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *serveMode || *chaosMode {
+	if *serveMode || *chaosMode || *planMode {
 		cfg := cross.ServeConfig{
 			Seed: *seed, Set: *set, Pods: *pods, CoresPerPod: *podCores,
 			Policy: *policy, Rate: *rate, HorizonS: *horizon,
 			MaxBatch: *batch, MaxDelayS: *delay, Overlap: *overlap, Parallel: *parallel,
+			TracePath: *trace, Stats: *stats,
 		}
 		if deviceSet {
 			cfg.Spec = *device
+		}
+		if *fleet != "" {
+			f, err := cross.ServeParseFleet(*fleet)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "crossbench:", err)
+				os.Exit(1)
+			}
+			cfg.Fleet = f
+			cfg.Spec, cfg.Pods, cfg.CoresPerPod = "", 0, 0
 		}
 		if *mix != "" {
 			m, err := parseMix(*mix)
@@ -482,6 +574,27 @@ func main() {
 				os.Exit(1)
 			}
 			cfg.Mix = m
+		}
+		if *classes != "" {
+			cs, err := parseClasses(*classes)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "crossbench:", err)
+				os.Exit(1)
+			}
+			cfg.Classes = cs
+		}
+		if *planMode {
+			pc := cross.ServePlanConfig{Base: cfg, TargetP99S: *slo}
+			if *fleets != "" {
+				fs, err := cross.ServeParseFleets(*fleets)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "crossbench:", err)
+					os.Exit(1)
+				}
+				pc.Fleets = fs
+			}
+			runPlan(pc, *out, *asJSON)
+			return
 		}
 		if *faultsMode || *chaosMode {
 			cfg.Faults = &cross.FaultConfig{

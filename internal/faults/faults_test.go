@@ -196,3 +196,34 @@ func TestPredicates(t *testing.T) {
 		t.Error("Straggles predicate wrong")
 	}
 }
+
+// TestInjectorFleetSizePrefix: per-pod streams are split from the seed
+// by pod index, so growing the fleet must not move any existing pod's
+// fault timeline — pods 0..2 of a 3-pod injector and a 5-pod injector
+// draw identical crash and straggler schedules. Heterogeneous serve
+// fleets rely on this: regrouping pods into different device groups
+// (same total count, or a larger fleet sharing a prefix) keeps the
+// fault history of the shared prefix byte-identical.
+func TestInjectorFleetSizePrefix(t *testing.T) {
+	cfg := Config{Seed: 17, MTBFS: 2, MTTRS: 0.2,
+		StragglerFactor: 3, StragglerMTBFS: 1, StragglerMeanS: 0.25}
+	small := NewInjector(cfg, 3)
+	large := NewInjector(cfg, 5)
+	for pod := 0; pod < 3; pod++ {
+		for i := 0; i < 200; i++ {
+			ds, _ := small.NextCrashDelay(pod)
+			dl, _ := large.NextCrashDelay(pod)
+			if ds != dl {
+				t.Fatalf("pod %d crash draw %d moved by fleet size: %g vs %g", pod, i, ds, dl)
+			}
+			if rs, rl := small.RecoverDelay(pod), large.RecoverDelay(pod); rs != rl {
+				t.Fatalf("pod %d recover draw %d moved by fleet size: %g vs %g", pod, i, rs, rl)
+			}
+			ss, _ := small.NextStragglerDelay(pod)
+			sl, _ := large.NextStragglerDelay(pod)
+			if ss != sl {
+				t.Fatalf("pod %d straggler draw %d moved by fleet size: %g vs %g", pod, i, ss, sl)
+			}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// mixedFleet is the canonical heterogeneous test fleet: two TPU pods
+// plus one H100 node — two different backends, so per-group pricing
+// differences are maximal.
+func mixedFleet() []FleetGroup {
+	return []FleetGroup{
+		{Device: "TPUv6e", Cores: 1, Count: 2},
+		{Device: "H100", Cores: 1, Count: 1},
+	}
+}
+
+// TestFleetPerGroupDispatchOverhead is the satellite-1 regression: in
+// a mixed TPUv6e+H100 fleet, each group's batching amortisation must
+// use its own part's dispatch overhead. The per-group tables of the
+// mixed fleet must therefore be bit-identical to the tables priced for
+// the corresponding homogeneous fleets — pricing a group can never
+// depend on what else is in the fleet.
+func TestFleetPerGroupDispatchOverhead(t *testing.T) {
+	mixed := Config{Set: "B", Fleet: mixedFleet(), MaxBatch: 8, Mix: hemultOnly()}.withDefaults()
+	mpt, err := price(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi, dev := range []string{"TPUv6e", "H100"} {
+		homo := Config{Spec: dev, Set: "B", Pods: 1, MaxBatch: 8, Mix: hemultOnly()}.withDefaults()
+		hpt, err := price(homo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := range mixed.Mix {
+			if mpt.groups[gi].base[w] != hpt.groups[0].base[w] {
+				t.Errorf("group %s base[%d]: mixed %g != homogeneous %g",
+					dev, w, mpt.groups[gi].base[w], hpt.groups[0].base[w])
+			}
+			for b := 0; b < mixed.MaxBatch; b++ {
+				if mpt.groups[gi].svc[w][b] != hpt.groups[0].svc[w][b] {
+					t.Errorf("group %s svc[%d][%d]: mixed %g != homogeneous %g (dispatch overhead amortised with the wrong part?)",
+						dev, w, b, mpt.groups[gi].svc[w][b], hpt.groups[0].svc[w][b])
+				}
+			}
+		}
+	}
+	// The two backends genuinely differ — otherwise this test proves
+	// nothing about per-group amortisation.
+	if mpt.groups[0].svc[0][mixed.MaxBatch-1] == mpt.groups[1].svc[0][mixed.MaxBatch-1] {
+		t.Fatal("TPUv6e and H100 priced identically; pick more distinct groups")
+	}
+}
+
+// TestServeHeteroFleet: a mixed fleet drains, pods are labelled with
+// their group device, pod indices follow declaration order, the cost
+// section is present, and the record is byte-deterministic.
+func TestServeHeteroFleet(t *testing.T) {
+	cfg := Config{
+		Seed: 3, Set: "B", Fleet: mixedFleet(),
+		Policy: PolicyLeastLoaded, HorizonS: 0.02, MaxBatch: 4,
+		Mix: hemultOnly(),
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Requests == 0 || r.Completed != r.Requests {
+		t.Fatalf("mixed fleet did not drain: %d of %d", r.Completed, r.Requests)
+	}
+	if len(r.Pods) != 3 {
+		t.Fatalf("want 3 pods, got %d", len(r.Pods))
+	}
+	for i, want := range []string{"TPUv6e", "TPUv6e", "H100"} {
+		if r.Pods[i].Device != want {
+			t.Errorf("pod %d device %q, want %q", i, r.Pods[i].Device, want)
+		}
+	}
+	if r.Cost == nil || r.Cost.DollarPerHour <= 0 || r.Cost.RPSPerDollarHour <= 0 {
+		t.Fatalf("cost section missing or empty: %+v", r.Cost)
+	}
+	// Echoed fleet carries resolved prices; legacy fields stay unset.
+	if r.Config.Spec != "" || r.Config.Pods != 0 {
+		t.Errorf("fleet config leaked legacy fields: spec %q pods %d", r.Config.Spec, r.Config.Pods)
+	}
+	for i, g := range r.Config.Fleet {
+		if g.DollarPerHour <= 0 {
+			t.Errorf("fleet group %d: unresolved dollar_per_hour", i)
+		}
+	}
+	first, _ := json.Marshal(r)
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _ := json.Marshal(r2)
+	if string(first) != string(second) {
+		t.Fatal("mixed-fleet record not deterministic")
+	}
+}
+
+// TestFleetCapacityIsSumOfGroups: a mixed fleet's capacity equals the
+// sum of the homogeneous capacities of its groups.
+func TestFleetCapacityIsSumOfGroups(t *testing.T) {
+	capOf := func(cfg Config) float64 {
+		cfg = cfg.withDefaults()
+		pt, err := price(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt.capacity(cfg)
+	}
+	mixed := capOf(Config{Set: "B", Fleet: mixedFleet(), MaxBatch: 4, Mix: hemultOnly()})
+	tpu := capOf(Config{Spec: "TPUv6e", Set: "B", Pods: 2, MaxBatch: 4, Mix: hemultOnly()})
+	gpu := capOf(Config{Spec: "H100", Set: "B", Pods: 1, MaxBatch: 4, Mix: hemultOnly()})
+	if diff := mixed - (tpu + gpu); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("mixed capacity %g != %g + %g", mixed, tpu, gpu)
+	}
+}
+
+// TestPolicyCheapest: under light load on a fleet with a wide price
+// spread, cost-aware dispatch concentrates traffic on the cheap group
+// while every request still completes.
+func TestPolicyCheapest(t *testing.T) {
+	cfg := Config{
+		Seed: 5, Set: "B",
+		Fleet: []FleetGroup{
+			{Device: "TPUv5e", Cores: 1, Count: 1, DollarPerHour: 1},
+			{Device: "TPUv5e", Cores: 1, Count: 1, DollarPerHour: 100},
+		},
+		Policy: PolicyCheapest, HorizonS: 0.05, MaxBatch: 2,
+		Rate: 50, // far below one pod's capacity: no queueing pressure
+		Mix:  hemultOnly(),
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed != r.Requests || r.Requests == 0 {
+		t.Fatalf("cheapest policy lost requests: %d of %d", r.Completed, r.Requests)
+	}
+	if r.Pods[0].Served <= r.Pods[1].Served {
+		t.Errorf("cheapest policy ignored prices: cheap pod served %d, expensive pod %d",
+			r.Pods[0].Served, r.Pods[1].Served)
+	}
+}
+
+// TestFleetValidation covers the fleet-specific config errors.
+func TestFleetValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"fleet+spec", Config{Spec: "TPUv6e", Fleet: mixedFleet()}},
+		{"fleet+pods", Config{Pods: 2, Fleet: mixedFleet()}},
+		{"unknown device", Config{Fleet: []FleetGroup{{Device: "TPUv9", Count: 1}}}},
+		{"zero count", Config{Fleet: []FleetGroup{{Device: "TPUv6e", Count: 0}}}},
+		{"negative dollars", Config{Fleet: []FleetGroup{{Device: "TPUv6e", Count: 1, DollarPerHour: -1}}}},
+	}
+	for _, tc := range cases {
+		if _, err := Run(tc.cfg); err == nil {
+			t.Errorf("%s: config accepted", tc.name)
+		}
+	}
+}
+
+// TestParseFleet pins the CLI fleet grammar, dash-safe for device
+// names like A100-80GB.
+func TestParseFleet(t *testing.T) {
+	fleet, err := ParseFleet("TPUv6e:1:4+A100-80GB:8:2:31.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FleetGroup{
+		{Device: "TPUv6e", Cores: 1, Count: 4},
+		{Device: "A100-80GB", Cores: 8, Count: 2, DollarPerHour: 31.2},
+	}
+	if len(fleet) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(fleet), len(want))
+	}
+	for i := range want {
+		if fleet[i] != want[i] {
+			t.Errorf("group %d: got %+v, want %+v", i, fleet[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "TPUv6e", "TPUv6e:1", "TPUv6e:x:1", "TPUv6e:1:1:2:3"} {
+		if _, err := ParseFleet(bad); err == nil {
+			t.Errorf("ParseFleet(%q) accepted", bad)
+		}
+	}
+	fleets, err := ParseFleets("TPUv6e:1:4,TPUv6e:1:2+H100:1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleets) != 2 || len(fleets[1]) != 2 {
+		t.Fatalf("ParseFleets shape wrong: %+v", fleets)
+	}
+}

@@ -187,7 +187,7 @@ func TestServeBatchServiceModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := pt.svc[0]
+	svc := pt.groups[0].svc[0]
 	for b := 1; b < len(svc); b++ {
 		if svc[b] <= svc[b-1] {
 			t.Errorf("service time not increasing: svc[%d]=%g ≤ svc[%d]=%g", b+1, svc[b], b, svc[b-1])
@@ -197,8 +197,8 @@ func TestServeBatchServiceModel(t *testing.T) {
 			t.Errorf("per-request time not decreasing at b=%d: %g ≥ %g", b+1, perNew, perOld)
 		}
 	}
-	if svc[0] != pt.base[0] {
-		t.Errorf("batch-1 service %g != base %g", svc[0], pt.base[0])
+	if svc[0] != pt.groups[0].base[0] {
+		t.Errorf("batch-1 service %g != base %g", svc[0], pt.groups[0].base[0])
 	}
 }
 
@@ -288,7 +288,10 @@ func TestFullBatchNotStrandedBehindOtherClass(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := &sim{cfg: cfg, pt: pt, pods: make([]podState, 1)}
-	s.pods[0].queues = make([][]int, len(cfg.Mix))
+	s.classPrio = make([]int, len(cfg.Mix))
+	s.mixSLO = []int{-1, -1}
+	s.pods[0].queues = make([]intQueue, len(cfg.Mix))
+	s.pods[0].nq = make([]int, len(cfg.Mix))
 	s.pods[0].deadline = math.Inf(1)
 	s.pods[0].up = true
 	// One class-0 request, then a full class-1 batch shortly after.

@@ -3,7 +3,6 @@ package serve
 import (
 	"container/heap"
 	"math"
-	"sort"
 
 	"cross/internal/faults"
 )
@@ -113,22 +112,68 @@ type exec struct {
 }
 
 // batchState is one logical batch: the member requests plus the execs
-// still running it.
+// still running it. At most two execs are ever live (the primary and
+// one hedge — evHedge refuses a second hedge), so the live set is a
+// fixed array, not a heap-allocated slice.
 type batchState struct {
 	class   int
 	members []int
-	live    []int // exec ids still running
-	won     bool  // delivered (first exec to finish cleanly wins)
+	live    [2]int // exec ids still running
+	nlive   int
+	won     bool // delivered (first exec to finish cleanly wins)
 	hedged  bool
 }
 
+func (b *batchState) addLive(ei int) {
+	b.live[b.nlive] = ei
+	b.nlive++
+}
+
+func (b *batchState) removeLive(ei int) {
+	switch {
+	case b.nlive > 0 && b.live[0] == ei:
+		b.live[0] = b.live[1]
+		b.nlive--
+	case b.nlive > 1 && b.live[1] == ei:
+		b.nlive--
+	}
+}
+
+// intQueue is an index-tracked FIFO of request ids: O(1) amortised
+// push/pop via a head offset, replacing the O(n) slice splice the
+// pre-refactor per-class queues paid on every timeout dequeue (which
+// dominates at 10^6+-request horizons). The backing array compacts
+// once the dead prefix is both long and the majority, so memory stays
+// proportional to the live queue.
+type intQueue struct {
+	buf  []int
+	head int
+}
+
+func (q *intQueue) push(id int) { q.buf = append(q.buf, id) }
+func (q *intQueue) peek() int   { return q.buf[q.head] }
+func (q *intQueue) pop() int {
+	v := q.buf[q.head]
+	q.head++
+	if q.head >= 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return v
+}
+func (q *intQueue) reset() { q.buf = q.buf[:0]; q.head = 0 }
+
 // podState is one pod's runtime state: per-class FIFO queues, the
 // running launch, the fault-model state, and its share of the run's
-// statistics.
+// statistics. Queue removal is lazy: a request that times out while
+// queued just stops being stQueued, and its queue entry is discarded
+// when it reaches the head — nq tracks the live count per class.
 type podState struct {
-	queues    [][]int // per-class FIFOs of request indices
+	queues    []intQueue // per-class FIFOs of request indices
+	nq        []int      // per-class live (still-queued) counts
 	queued    int
-	backlogS  float64 // estimated queued base work (least-loaded policy)
+	backlogS  float64 // estimated queued base work (least-loaded/cheapest)
 	busy      bool
 	cur       int // exec id + 1 while busy (0 = idle); stale evDone detector
 	busyUntil float64
@@ -160,47 +205,80 @@ type sim struct {
 	rr      int // round-robin cursor
 	pending int // requests not yet in a terminal state
 
+	// SLO wiring (identity values when Config.Classes is empty).
+	classPrio   []int // [mix class] launch priority
+	mixSLO      []int // [mix class] SLO-class index, -1 = implicit default
+	classQueued []int // [SLO class] fleet-wide queued count (nil without classes)
+
 	retries, hedges, hedgesWon, crashes, batchErrors int
 	shed, timedOut, failed, late                     int
 }
 
 func newSim(cfg Config, pt *priceTable) *sim {
-	s := &sim{cfg: cfg, pt: pt, fc: cfg.Faults, pods: make([]podState, cfg.Pods)}
+	pods := cfg.totalPods()
+	s := &sim{cfg: cfg, pt: pt, fc: cfg.Faults, pods: make([]podState, pods)}
 	for i := range s.pods {
-		s.pods[i].queues = make([][]int, len(cfg.Mix))
+		s.pods[i].queues = make([]intQueue, len(cfg.Mix))
+		s.pods[i].nq = make([]int, len(cfg.Mix))
 		s.pods[i].deadline = math.Inf(1)
 		s.pods[i].up = true
 		s.pods[i].slow = 1
 	}
 
-	// Open-loop arrivals: exponential inter-arrival times at the offered
-	// rate, workload class drawn from the mix — all from the seeded
-	// generator, so the offered trace is a pure function of the Config.
-	gen := rng{state: uint64(cfg.Seed)}
-	var sumW float64
-	for _, e := range cfg.Mix {
-		sumW += e.Weight
-	}
-	deadline := math.Inf(1)
+	// SLO wiring: map each mix class to its SLO class (if any), its
+	// launch priority, and its effective deadline — the class deadline
+	// when set, else the fleet-wide fault deadline, else none.
+	s.mixSLO = make([]int, len(cfg.Mix))
+	s.classPrio = make([]int, len(cfg.Mix))
+	fleetDeadline := math.Inf(1)
 	if s.fc != nil && s.fc.DeadlineS > 0 {
-		deadline = s.fc.DeadlineS
+		fleetDeadline = s.fc.DeadlineS
 	}
-	t := 0.0
+	deadlines := make([]float64, len(cfg.Mix))
+	sloIdx := make(map[string]int, len(cfg.Classes))
+	for i, c := range cfg.Classes {
+		sloIdx[c.Name] = i
+	}
+	if len(cfg.Classes) > 0 {
+		s.classQueued = make([]int, len(cfg.Classes))
+	}
+	for w, e := range cfg.Mix {
+		s.mixSLO[w] = -1
+		deadlines[w] = fleetDeadline
+		if e.Class == "" {
+			continue
+		}
+		si := sloIdx[e.Class]
+		s.mixSLO[w] = si
+		s.classPrio[w] = cfg.Classes[si].Priority
+		if d := cfg.Classes[si].DeadlineS; d > 0 {
+			deadlines[w] = d
+		}
+	}
+
+	// Arrivals from the configured source: the seeded Poisson process
+	// (the legacy stream, draw-for-draw identical), trace replay, or a
+	// caller-supplied source. All arrival events are pushed up front so
+	// their heap sequence numbers — and therefore same-instant
+	// tie-breaks — stay deterministic.
+	src := cfg.Source
+	if src == nil {
+		if len(cfg.TraceEvents) > 0 {
+			classOf := make(map[string]int, len(cfg.Mix))
+			for w, e := range cfg.Mix {
+				classOf[e.Workload] = w
+			}
+			src = &traceSource{events: cfg.TraceEvents, classOf: classOf, horizon: cfg.HorizonS}
+		} else {
+			src = newPoissonSource(cfg.Seed, cfg.Rate, cfg.HorizonS, cfg.Mix)
+		}
+	}
 	for {
-		t += gen.exp(cfg.Rate)
-		if t > cfg.HorizonS {
+		t, class, ok := src.Next()
+		if !ok {
 			break
 		}
-		u := gen.float64() * sumW
-		class := len(cfg.Mix) - 1
-		for w, e := range cfg.Mix {
-			if u < e.Weight {
-				class = w
-				break
-			}
-			u -= e.Weight
-		}
-		s.reqs = append(s.reqs, request{class: class, arrival: t, deadline: t + deadline})
+		s.reqs = append(s.reqs, request{class: class, arrival: t, deadline: t + deadlines[class]})
 	}
 	s.pending = len(s.reqs)
 	for i, r := range s.reqs {
@@ -209,9 +287,11 @@ func newSim(cfg Config, pt *priceTable) *sim {
 
 	// Fault timelines: each pod's first crash and first straggler
 	// window, drawn from its own streams (no dependency on the request
-	// stream). Subsequent events chain from the handlers.
+	// stream, and — because streams are split per pod index — no
+	// dependency on how the fleet is grouped). Subsequent events chain
+	// from the handlers.
 	if s.fc != nil {
-		s.inj = faults.NewInjector(*s.fc, cfg.Pods)
+		s.inj = faults.NewInjector(*s.fc, pods)
 		for i := range s.pods {
 			if d, ok := s.inj.NextCrashDelay(i); ok {
 				s.push(event{at: d, kind: evCrash, pod: i})
@@ -228,6 +308,28 @@ func (s *sim) push(e event) {
 	e.seq = s.seq
 	s.seq++
 	heap.Push(&s.h, e)
+}
+
+// noteEnqueued/noteDequeued keep the pod-level and fleet-wide
+// class-queue accounting exact as entries come and go.
+func (s *sim) noteEnqueued(p *podState, class int) {
+	p.queued++
+	p.nq[class]++
+	if s.classQueued != nil {
+		if si := s.mixSLO[class]; si >= 0 {
+			s.classQueued[si]++
+		}
+	}
+}
+
+func (s *sim) noteDequeued(p *podState, class int) {
+	p.queued--
+	p.nq[class]--
+	if s.classQueued != nil {
+		if si := s.mixSLO[class]; si >= 0 {
+			s.classQueued[si]--
+		}
+	}
 }
 
 // dispatch picks the pod a fresh arrival (or re-dispatch) joins. Pods
@@ -278,15 +380,40 @@ func (s *sim) dispatch(req int, now float64) int {
 			}
 		}
 		return best
+	case PolicyCheapest:
+		// Minimum committed dollar-time: the pod's expected drain time
+		// for this request (queued work + remaining busy time + the
+		// request's own service on this part) weighted by the pod's
+		// hourly price. On a homogeneous fleet this degrades to
+		// least-loaded; on a mixed fleet it prefers the cheapest pod
+		// that is not already backed up. Ties go to the lowest index.
+		best, bestScore := -1, math.Inf(1)
+		class := s.reqs[req].class
+		for i := range s.pods {
+			if !eligible(i) {
+				continue
+			}
+			p := &s.pods[i]
+			g := s.pt.groupOf(i)
+			wait := p.backlogS
+			if p.busy {
+				wait += p.busyUntil - now
+			}
+			score := g.dollarPerHour / 3600 * (wait + g.base[class])
+			if score < bestScore {
+				best, bestScore = i, score
+			}
+		}
+		return best
 	default: // round-robin
 		for range s.pods {
-			p := s.rr % s.cfg.Pods
+			p := s.rr % len(s.pods)
 			s.rr++
 			if eligible(p) {
 				return p
 			}
 		}
-		return s.rr % s.cfg.Pods // unreachable: eligible always admits someone
+		return s.rr % len(s.pods) // unreachable: eligible always admits someone
 	}
 }
 
@@ -306,39 +433,61 @@ func (s *sim) enqueue(pi, id int) {
 	p := &s.pods[pi]
 	r.state = stQueued
 	r.pod = pi
-	p.queues[r.class] = append(p.queues[r.class], id)
-	p.queued++
-	p.backlogS += s.pt.base[r.class]
+	p.queues[r.class].push(id)
+	s.noteEnqueued(p, r.class)
+	p.backlogS += s.pt.groupOf(pi).base[r.class]
 	if p.queued > p.maxDepth {
 		p.maxDepth = p.queued
 	}
 }
 
-// dequeue removes a still-queued request (deadline expiry) from its
-// pod's class FIFO, keeping the depth/backlog accounting exact.
+// dequeue settles the accounting for a still-queued request that just
+// left the queue logically (deadline expiry). The queue entry itself
+// stays behind and is discarded lazily when it reaches the head — the
+// caller flips the request out of stQueued, which is what marks the
+// entry dead.
 func (s *sim) dequeue(id int) {
 	r := &s.reqs[id]
 	p := &s.pods[r.pod]
-	q := p.queues[r.class]
-	for i, v := range q {
-		if v == id {
-			p.queues[r.class] = append(q[:i], q[i+1:]...)
-			break
-		}
-	}
-	p.queued--
-	p.backlogS -= s.pt.base[r.class]
+	s.noteDequeued(p, r.class)
+	p.backlogS -= s.pt.groupOf(r.pod).base[r.class]
 	if p.queued == 0 {
 		p.backlogS = 0 // kill float accumulation drift at the fixpoint
 	}
 }
 
-// admit routes a request through dispatch and admission control;
-// sheds when the chosen pod's queue is at the limit.
+// queueHead returns the request at the head of the pod's class FIFO,
+// discarding lazily-deleted entries on the way. The caller guarantees
+// p.nq[class] > 0, so a live head exists.
+func (s *sim) queueHead(p *podState, class int) int {
+	q := &p.queues[class]
+	for {
+		id := q.peek()
+		if s.reqs[id].state == stQueued {
+			return id
+		}
+		q.pop()
+	}
+}
+
+// admit routes a request through admission control and dispatch: the
+// SLO class's fleet-wide queue limit is the front door, the fault
+// layer's per-pod queue limit the back door.
 func (s *sim) admit(id int, now float64) (pi int, ok bool) {
+	r := &s.reqs[id]
+	if s.classQueued != nil {
+		if si := s.mixSLO[r.class]; si >= 0 {
+			if lim := s.cfg.Classes[si].QueueLimit; lim > 0 && s.classQueued[si] >= lim {
+				r.state = stShed
+				s.shed++
+				s.pending--
+				return 0, false
+			}
+		}
+	}
 	pi = s.dispatch(id, now)
 	if s.fc != nil && s.fc.QueueLimit > 0 && s.pods[pi].queued >= s.fc.QueueLimit {
-		s.reqs[id].state = stShed
+		r.state = stShed
 		s.shed++
 		s.pending--
 		return pi, false
@@ -354,55 +503,70 @@ func (s *sim) maybeLaunch(pi int, now float64) {
 	if p.busy || p.queued == 0 || !p.up {
 		return
 	}
+	g := s.pt.groupOf(pi)
 	// A class is launchable when its batch is full or its head request's
-	// delay budget is spent. Serve the launchable class whose head has
-	// waited longest (FIFO across classes; ties break on the lower class
-	// index) — a full batch in one class must never sit behind another
-	// class's still-unexpired head. The expiry test compares against the
-	// deadline instant itself (not the age): the deadline event fires at
-	// exactly oldest+MaxDelayS, and re-deriving the same float
-	// expression makes the ≥ test exact.
-	class, oldestAll := -1, -1
+	// delay budget is spent. Among launchable classes, strict SLO
+	// priority wins first; within a priority, serve the class whose head
+	// has waited longest (FIFO across classes; ties break on the lower
+	// class index) — a full batch in one class must never sit behind
+	// another class's still-unexpired head. The expiry test compares
+	// against the deadline instant itself (not the age): the deadline
+	// event fires at exactly oldest+MaxDelayS, and re-deriving the same
+	// float expression makes the ≥ test exact.
+	class := -1
+	bestPrio := 0
+	var bestHead, oldestHead float64
+	oldestAll := -1
 	for c := range p.queues {
-		if len(p.queues[c]) == 0 {
+		if p.nq[c] == 0 {
 			continue
 		}
-		head := s.reqs[p.queues[c][0]].arrival
-		if oldestAll == -1 || head < s.reqs[p.queues[oldestAll][0]].arrival {
-			oldestAll = c
+		head := s.reqs[s.queueHead(p, c)].arrival
+		if oldestAll == -1 || head < oldestHead {
+			oldestAll, oldestHead = c, head
 		}
-		launchable := len(p.queues[c]) >= s.cfg.MaxBatch ||
+		launchable := p.nq[c] >= s.cfg.MaxBatch ||
 			s.cfg.MaxDelayS <= 0 || now >= head+s.cfg.MaxDelayS
-		if launchable && (class == -1 || head < s.reqs[p.queues[class][0]].arrival) {
-			class = c
+		if !launchable {
+			continue
+		}
+		prio := s.classPrio[c]
+		if class == -1 || prio > bestPrio || (prio == bestPrio && head < bestHead) {
+			class, bestPrio, bestHead = c, prio, head
 		}
 	}
 	if class == -1 {
 		// Nothing launchable yet: hold for more arrivals, waking at the
 		// earliest delay deadline (the overall-oldest head's).
-		if want := s.reqs[p.queues[oldestAll][0]].arrival + s.cfg.MaxDelayS; want < p.deadline {
+		if want := oldestHead + s.cfg.MaxDelayS; want < p.deadline {
 			p.deadline = want
 			s.push(event{at: want, kind: evDeadline, pod: pi})
 		}
 		return
 	}
-	q := p.queues[class]
 
-	b := len(q)
-	if b > s.cfg.MaxBatch {
-		b = s.cfg.MaxBatch
+	want := p.nq[class]
+	if want > s.cfg.MaxBatch {
+		want = s.cfg.MaxBatch
 	}
-	members := append([]int(nil), q[:b]...)
-	p.queues[class] = q[b:]
-	p.queued -= b
-	for _, id := range members {
-		p.backlogS -= s.pt.base[s.reqs[id].class]
-		s.reqs[id].state = stInFlight
+	members := make([]int, 0, want)
+	q := &p.queues[class]
+	for len(members) < want {
+		id := q.pop()
+		r := &s.reqs[id]
+		if r.state != stQueued {
+			continue // lazily-deleted entry (timed out while queued)
+		}
+		members = append(members, id)
+		r.state = stInFlight
+		s.noteDequeued(p, class)
+		p.backlogS -= g.base[class]
 	}
 	if p.queued == 0 {
 		p.backlogS = 0 // kill float accumulation drift at the fixpoint
 	}
 	p.deadline = math.Inf(1)
+	b := len(members)
 
 	bi := len(s.batches)
 	s.batches = append(s.batches, batchState{class: class, members: members})
@@ -411,18 +575,19 @@ func (s *sim) maybeLaunch(pi int, now float64) {
 	if s.fc != nil && s.fc.Hedge {
 		delay := s.fc.HedgeDelayS
 		if delay <= 0 {
-			delay = faults.HedgeAutoFactor * s.pt.svc[class][b-1]
+			delay = faults.HedgeAutoFactor * g.svc[class][b-1]
 		}
 		s.push(event{at: now + delay, kind: evHedge, aux: bi})
 	}
 }
 
 // startExec launches one physical execution of a batch on a pod:
-// service priced from the table, inflated by an open straggler window,
-// transient-error drawn at launch.
+// service priced from the pod's group table (a hedge landing on a
+// different group runs at that group's speed), inflated by an open
+// straggler window, transient-error drawn at launch.
 func (s *sim) startExec(bi, pi int, now float64, hedge bool) {
 	b := &s.batches[bi]
-	svc := s.pt.svc[b.class][len(b.members)-1]
+	svc := s.pt.groupOf(pi).svc[b.class][len(b.members)-1]
 	p := &s.pods[pi]
 	if p.slow > 1 {
 		svc *= p.slow
@@ -433,7 +598,7 @@ func (s *sim) startExec(bi, pi int, now float64, hedge bool) {
 		fails = s.inj.LaunchFails()
 	}
 	s.execs = append(s.execs, exec{batch: bi, pod: pi, start: now, svc: svc, fails: fails, hedge: hedge})
-	b.live = append(b.live, ei)
+	b.addLive(ei)
 	p.busy = true
 	p.cur = ei + 1
 	p.busyUntil = now + svc
@@ -494,10 +659,10 @@ func (s *sim) finishExec(ei int, now float64) {
 	p.cur = 0
 	p.busyS += ex.svc
 	b := &s.batches[ex.batch]
-	b.live = removeInt(b.live, ei)
+	b.removeLive(ei)
 	if ex.fails {
 		s.batchErrors++
-		if !b.won && len(b.live) == 0 {
+		if !b.won && b.nlive == 0 {
 			s.loseBatch(ex.batch, now)
 		}
 	} else if !b.won {
@@ -506,7 +671,7 @@ func (s *sim) finishExec(ei int, now float64) {
 			s.hedgesWon++
 		}
 		s.deliver(ex.batch, ex.pod, now)
-		for _, oi := range b.live {
+		for _, oi := range b.live[:b.nlive] {
 			o := &s.execs[oi]
 			op := &s.pods[o.pod]
 			if op.cur == oi+1 { // still running it: cancel, free the pod
@@ -516,7 +681,7 @@ func (s *sim) finishExec(ei int, now float64) {
 				s.maybeLaunch(o.pod, now)
 			}
 		}
-		b.live = nil
+		b.nlive = 0
 	}
 	s.maybeLaunch(ex.pod, now)
 }
@@ -537,8 +702,8 @@ func (s *sim) crashPod(pi int, now float64) {
 		p.cur = 0
 		p.busyS += now - ex.start
 		b := &s.batches[ex.batch]
-		b.live = removeInt(b.live, ei)
-		if !b.won && len(b.live) == 0 {
+		b.removeLive(ei)
+		if !b.won && b.nlive == 0 {
 			s.loseBatch(ex.batch, now)
 		}
 	}
@@ -555,12 +720,19 @@ func (s *sim) suspectPod(pi, gen int, now float64) {
 		return // recovered before detection: stale timeout
 	}
 	p.suspected = true
+	g := s.pt.groupOf(pi)
 	for c := range p.queues {
-		q := p.queues[c]
-		p.queues[c] = nil
-		for _, id := range q {
-			p.queued--
-			p.backlogS -= s.pt.base[s.reqs[id].class]
+		q := &p.queues[c]
+		// Snapshot and reset before re-admitting: the all-suspected
+		// fallback can legitimately re-queue a request onto this pod.
+		ids := append([]int(nil), q.buf[q.head:]...)
+		q.reset()
+		for _, id := range ids {
+			if s.reqs[id].state != stQueued {
+				continue // lazily-deleted entry: accounting already settled
+			}
+			s.noteDequeued(p, c)
+			p.backlogS -= g.base[c]
 			if target, ok := s.admit(id, now); ok {
 				s.maybeLaunch(target, now)
 			}
@@ -653,7 +825,7 @@ func (s *sim) run() {
 			}
 		case evHedge:
 			b := &s.batches[e.aux]
-			if b.won || b.hedged || len(b.live) == 0 {
+			if b.won || b.hedged || b.nlive == 0 {
 				break // already done, already hedged, or lost (retry path owns it)
 			}
 			primary := s.execs[b.live[0]].pod
@@ -675,17 +847,9 @@ func (s *sim) run() {
 	}
 }
 
-func removeInt(s []int, v int) []int {
-	for i, x := range s {
-		if x == v {
-			return append(s[:i], s[i+1:]...)
-		}
-	}
-	return s
-}
-
 // latencyStats summarises a sorted latency slice with nearest-rank
-// quantiles.
+// quantiles — the exact oracle the streaming P² path is tested
+// against.
 func latencyStats(sorted []float64) LatencyStats {
 	n := len(sorted)
 	if n == 0 {
@@ -713,7 +877,9 @@ func latencyStats(sorted []float64) LatencyStats {
 
 // result assembles the stable record after the run drains. Completed
 // is derived by counting requests that actually finished within their
-// deadline — never assumed from the arrival count.
+// deadline — never assumed from the arrival count. Latencies feed the
+// accumulators in request-index order, so streaming estimates are as
+// deterministic as the stored path.
 func (s *sim) result(capacityRate float64) *Result {
 	r := &Result{
 		Config:       s.cfg,
@@ -722,42 +888,83 @@ func (s *sim) result(capacityRate float64) *Result {
 		Requests:     len(s.reqs),
 	}
 
-	lats := make([]float64, 0, len(s.reqs))
-	good := make([]float64, 0, len(s.reqs))
-	perClass := make([][]float64, len(s.cfg.Mix))
+	streaming := s.cfg.Stats == StatsStreaming
+	lats := newLatAccum(streaming, len(s.reqs))
+	good := newLatAccum(streaming, len(s.reqs))
+	perClass := make([]latAccum, len(s.cfg.Mix))
+	for w := range perClass {
+		perClass[w] = newLatAccum(streaming, 0)
+	}
+	type classAgg struct {
+		requests, completed, shed, timedOut, failed int
+		lat                                         latAccum
+	}
+	var slo []classAgg
+	if len(s.cfg.Classes) > 0 {
+		slo = make([]classAgg, len(s.cfg.Classes))
+		for i := range slo {
+			slo[i].lat = newLatAccum(streaming, 0)
+		}
+	}
+
 	for i := range s.reqs {
 		req := &s.reqs[i]
 		if req.finish > r.MakespanS {
 			r.MakespanS = req.finish
 		}
+		var agg *classAgg
+		if slo != nil {
+			if si := s.mixSLO[req.class]; si >= 0 {
+				agg = &slo[si]
+				agg.requests++
+				switch req.state {
+				case stShed:
+					agg.shed++
+				case stTimedOut, stLate:
+					agg.timedOut++ // late deliveries did time out
+				case stFailed:
+					agg.failed++
+				}
+			}
+		}
 		if req.state != stDone && req.state != stLate {
 			continue // never delivered: no latency sample
 		}
 		l := req.finish - req.arrival
-		lats = append(lats, l)
-		perClass[req.class] = append(perClass[req.class], l)
+		lats.add(l)
+		perClass[req.class].add(l)
+		if agg != nil {
+			agg.lat.add(l)
+		}
 		if req.state == stDone {
 			r.Completed++
-			good = append(good, l)
+			good.add(l)
+			if agg != nil {
+				agg.completed++
+			}
 		}
 	}
-	sort.Float64s(lats)
-	r.Latency = latencyStats(lats)
+	r.Latency = lats.stats()
 	if r.MakespanS > 0 {
 		r.AchievedRate = float64(r.Completed) / r.MakespanS
 	}
 
 	var batches int
+	hetero := len(s.cfg.Fleet) > 0
 	for i := range s.pods {
 		p := &s.pods[i]
 		util := 0.0
 		if r.MakespanS > 0 {
 			util = p.busyS / r.MakespanS
 		}
-		r.Pods = append(r.Pods, PodStats{
+		ps := PodStats{
 			Pod: i, Served: p.served, Batches: p.batches,
 			BusyS: p.busyS, Utilization: util, MaxQueueDepth: p.maxDepth,
-		})
+		}
+		if hetero {
+			ps.Device = s.pt.groupOf(i).device
+		}
+		r.Pods = append(r.Pods, ps)
 		batches += p.batches
 		if p.maxDepth > r.MaxQueueDepth {
 			r.MaxQueueDepth = p.maxDepth
@@ -768,16 +975,38 @@ func (s *sim) result(capacityRate float64) *Result {
 	}
 
 	for w, e := range s.cfg.Mix {
-		sort.Float64s(perClass[w])
 		r.Workloads = append(r.Workloads, WorkloadStats{
 			Workload: e.Workload,
-			Requests: len(perClass[w]),
-			Latency:  latencyStats(perClass[w]),
+			Requests: perClass[w].count(),
+			Latency:  perClass[w].stats(),
 		})
 	}
 
+	for i := range slo {
+		c := s.cfg.Classes[i]
+		goodput := 0.0
+		if r.MakespanS > 0 {
+			goodput = float64(slo[i].completed) / r.MakespanS
+		}
+		r.Classes = append(r.Classes, ClassStats{
+			Class: c.Name, Priority: c.Priority,
+			Requests: slo[i].requests, Completed: slo[i].completed,
+			Shed: slo[i].shed, TimedOut: slo[i].timedOut, Failed: slo[i].failed,
+			Goodput: goodput, Latency: slo[i].lat.stats(),
+		})
+	}
+
+	if hetero {
+		d := FleetDollarPerHour(s.cfg.Fleet)
+		cost := &CostStats{DollarPerHour: d}
+		if d > 0 && r.AchievedRate > 0 {
+			cost.RPSPerDollarHour = r.AchievedRate / d
+			cost.DollarPerMillion = d / (r.AchievedRate * 3600) * 1e6
+		}
+		r.Cost = cost
+	}
+
 	if s.fc != nil {
-		sort.Float64s(good)
 		av := &AvailabilityStats{
 			Goodput:      r.AchievedRate,
 			Shed:         s.shed,
@@ -790,7 +1019,7 @@ func (s *sim) result(capacityRate float64) *Result {
 			Crashes:      s.crashes,
 			BatchErrors:  s.batchErrors,
 			PodDowntimeS: make([]float64, len(s.pods)),
-			LatencyGood:  latencyStats(good),
+			LatencyGood:  good.stats(),
 		}
 		for i := range s.pods {
 			p := &s.pods[i]

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"testing"
+
+	"cross/internal/sweep"
+)
+
+// twoClassConfig: one fleet, two workloads mapped onto two SLO
+// classes with distinct priorities.
+func twoClassConfig() Config {
+	return Config{
+		Seed: 11, Spec: "TPUv5e", Set: "B", Pods: 1,
+		Policy: PolicyJSQ, HorizonS: 0.05, MaxBatch: 2,
+		Mix: []MixEntry{
+			{Workload: sweep.WorkloadHEMult, Weight: 1, Class: "interactive"},
+			{Workload: sweep.WorkloadRotate, Weight: 1, Class: "batch"},
+		},
+		Classes: []SLOClass{
+			{Name: "interactive", Priority: 10},
+			{Name: "batch", Priority: 0},
+		},
+	}
+}
+
+// TestSLOClassStatsPresent: per-class sections appear in the record,
+// cover every request exactly once, and are byte-deterministic.
+func TestSLOClassStatsPresent(t *testing.T) {
+	r, err := Run(twoClassConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Classes) != 2 {
+		t.Fatalf("want 2 class sections, got %d", len(r.Classes))
+	}
+	total := 0
+	for _, cs := range r.Classes {
+		total += cs.Requests
+	}
+	if total != r.Requests {
+		t.Errorf("class sections cover %d requests, fleet saw %d", total, r.Requests)
+	}
+	if r.Classes[0].Class != "interactive" || r.Classes[0].Priority != 10 {
+		t.Errorf("class section order/identity wrong: %+v", r.Classes[0])
+	}
+}
+
+// TestSLOPriorityLowersLatency: under sustained overload, the
+// high-priority class must see a lower p99 than the low-priority class
+// sharing the same pod. Strict priority is the whole point of the
+// seam; this is its observable effect.
+func TestSLOPriorityLowersLatency(t *testing.T) {
+	cfg := twoClassConfig()
+	cfg.Rate = 0 // auto: 1.5× capacity per withDefaults — heavy backlog
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hi, lo *ClassStats
+	for i := range r.Classes {
+		switch r.Classes[i].Class {
+		case "interactive":
+			hi = &r.Classes[i]
+		case "batch":
+			lo = &r.Classes[i]
+		}
+	}
+	if hi == nil || lo == nil {
+		t.Fatal("missing class sections")
+	}
+	if hi.Completed == 0 || lo.Completed == 0 {
+		t.Fatalf("both classes must complete work: hi %d lo %d", hi.Completed, lo.Completed)
+	}
+	if hi.Latency.P99S >= lo.Latency.P99S {
+		t.Errorf("priority had no effect: interactive p99 %.6fs >= batch p99 %.6fs",
+			hi.Latency.P99S, lo.Latency.P99S)
+	}
+}
+
+// TestSLOClassDeadlineWithoutFaults: a class deadline must time
+// requests out even when the fault layer is disabled — deadlines
+// belong to the SLO seam, not the fault seam.
+func TestSLOClassDeadlineWithoutFaults(t *testing.T) {
+	cfg := twoClassConfig()
+	cfg.Rate = 0 // overload: queues grow, waits exceed any tight deadline
+	cfg.Classes[1].DeadlineS = 1e-6
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cs := range r.Classes {
+		switch cs.Class {
+		case "batch":
+			if cs.TimedOut == 0 {
+				t.Error("deadline class reports no timeouts")
+			}
+		case "interactive":
+			if cs.TimedOut != 0 {
+				t.Errorf("deadline leaked across classes: interactive timed out %d", cs.TimedOut)
+			}
+		}
+	}
+}
+
+// TestSLOClassQueueLimitSheds: a class admission limit sheds that
+// class at the front door while the unlimited class is untouched.
+func TestSLOClassQueueLimitSheds(t *testing.T) {
+	cfg := twoClassConfig()
+	cfg.Rate = 0 // overload so the queue cap binds
+	cfg.Classes[1].QueueLimit = 1
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hi, lo *ClassStats
+	for i := range r.Classes {
+		switch r.Classes[i].Class {
+		case "interactive":
+			hi = &r.Classes[i]
+		case "batch":
+			lo = &r.Classes[i]
+		}
+	}
+	if lo.Shed == 0 {
+		t.Error("queue-limited class shed nothing under overload")
+	}
+	if hi.Shed != 0 {
+		t.Errorf("unlimited class shed %d requests", hi.Shed)
+	}
+	if got := lo.Completed + lo.Shed + lo.TimedOut + lo.Failed; got != lo.Requests {
+		t.Errorf("shed class accounting broken: %d of %d requests accounted", got, lo.Requests)
+	}
+}
+
+// TestSLOValidation covers the class-specific config errors.
+func TestSLOValidation(t *testing.T) {
+	base := twoClassConfig()
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"empty class name", func(c *Config) { c.Classes[0].Name = "" }},
+		{"duplicate class name", func(c *Config) { c.Classes[1].Name = "interactive" }},
+		{"negative deadline", func(c *Config) { c.Classes[0].DeadlineS = -1 }},
+		{"negative queue limit", func(c *Config) { c.Classes[0].QueueLimit = -1 }},
+		{"unknown class in mix", func(c *Config) { c.Mix[0].Class = "premium" }},
+		{"class without classes", func(c *Config) { c.Classes = nil }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		cfg.Mix = append([]MixEntry(nil), base.Mix...)
+		cfg.Classes = append([]SLOClass(nil), base.Classes...)
+		tc.mut(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: config accepted", tc.name)
+		}
+	}
+}
+
+// TestSLOZeroPriorityMatchesLegacy: classes that only *name* traffic
+// (all priorities zero, no deadlines, no limits) must not perturb the
+// simulation — the request timeline is identical to the same config
+// with no classes at all, proving the legacy path is the degenerate
+// case of the SLO seam rather than a separate code path.
+func TestSLOZeroPriorityMatchesLegacy(t *testing.T) {
+	cfg := twoClassConfig()
+	cfg.Classes = []SLOClass{{Name: "interactive"}, {Name: "batch"}}
+	with, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := cfg
+	plain.Classes = nil
+	plain.Mix = []MixEntry{
+		{Workload: sweep.WorkloadHEMult, Weight: 1},
+		{Workload: sweep.WorkloadRotate, Weight: 1},
+	}
+	without, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Requests != without.Requests ||
+		with.Completed != without.Completed ||
+		with.Latency != without.Latency ||
+		with.AchievedRate != without.AchievedRate {
+		t.Errorf("zero-priority classes perturbed the sim:\nwith:    %+v\nwithout: %+v",
+			with.Latency, without.Latency)
+	}
+}

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"testing"
+)
+
+// quantGen is a tiny deterministic generator for test distributions
+// (splitmix-style, independent of the simulator's PRNG).
+type quantGen struct{ s uint64 }
+
+func (g *quantGen) next() float64 {
+	g.s += 0x9e3779b97f4a7c15
+	z := g.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+func exactQuantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// TestP2AgainstExact drives the P² estimator over distributions with
+// very different tail shapes and bounds its relative error against the
+// exact nearest-rank quantile. P² is an approximation; the bounds here
+// are the contract the streaming mode ships with.
+func TestP2AgainstExact(t *testing.T) {
+	const n = 50_000
+	dists := []struct {
+		name string
+		gen  func(u float64) float64
+		tol  map[float64]float64 // quantile -> allowed relative error
+	}{
+		{
+			name: "uniform",
+			gen:  func(u float64) float64 { return u },
+			tol:  map[float64]float64{0.5: 0.02, 0.95: 0.02, 0.99: 0.02},
+		},
+		{
+			// Bimodal: two well-separated service-time modes, like a
+			// cache-hit/cache-miss split. Quantiles sit inside a mode,
+			// far from the overall mean.
+			name: "bimodal",
+			gen: func(u float64) float64 {
+				if u < 0.8 {
+					return 1 + u // [1,1.8)
+				}
+				return 100 + u*10 // [100,110)
+			},
+			tol: map[float64]float64{0.5: 0.05, 0.95: 0.05, 0.99: 0.05},
+		},
+		{
+			// Heavy tail: Pareto-ish via inverse transform. The p99
+			// lives deep in the tail where P² markers are sparsest —
+			// the hardest case, hence the loosest bound.
+			name: "heavy-tail",
+			gen: func(u float64) float64 {
+				return math.Pow(1-u*0.999999, -1.0/1.5)
+			},
+			tol: map[float64]float64{0.5: 0.05, 0.95: 0.10, 0.99: 0.25},
+		},
+	}
+	for _, d := range dists {
+		g := &quantGen{s: 42}
+		q50, q95, q99 := newP2(0.5), newP2(0.95), newP2(0.99)
+		qs := map[float64]*p2Quantile{0.5: &q50, 0.95: &q95, 0.99: &q99}
+		all := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			x := d.gen(g.next())
+			all = append(all, x)
+			for _, q := range qs {
+				q.add(x)
+			}
+		}
+		sort.Float64s(all)
+		for p, q := range qs {
+			exact := exactQuantile(all, p)
+			got := q.value()
+			rel := math.Abs(got-exact) / exact
+			if rel > d.tol[p] {
+				t.Errorf("%s p%g: P² %.6g vs exact %.6g (rel err %.3f > %.3f)",
+					d.name, p*100, got, exact, rel, d.tol[p])
+			}
+		}
+	}
+}
+
+// TestP2DegenerateInputs: constant streams and tiny samples must not
+// divide by zero or drift.
+func TestP2DegenerateInputs(t *testing.T) {
+	// All-equal: every marker height is the same; parabolic adjustment
+	// denominators vanish and must be guarded.
+	q := newP2(0.99)
+	for i := 0; i < 10_000; i++ {
+		q.add(7.25)
+	}
+	if got := q.value(); got != 7.25 {
+		t.Errorf("all-equal stream: p99 %g, want 7.25", got)
+	}
+
+	// n < 5: the estimator has not initialised its markers and must
+	// fall back to exact nearest-rank on the buffered points.
+	for _, n := range []int{1, 2, 3, 4} {
+		q := newP2(0.5)
+		vals := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			v := float64((i*7)%5 + 1)
+			q.add(v)
+			vals = append(vals, v)
+		}
+		sort.Float64s(vals)
+		if got, want := q.value(), exactQuantile(vals, 0.5); got != want {
+			t.Errorf("n=%d: p50 %g, want exact %g", n, got, want)
+		}
+	}
+
+	// Empty estimator reports zero, matching latencyStats(nil).
+	qe := newP2(0.95)
+	if got := qe.value(); got != 0 {
+		t.Errorf("empty estimator: %g, want 0", got)
+	}
+}
+
+// TestStreamAccumExactBelowCutoff: under streamExactCutoff samples the
+// streaming accumulator must agree bit-for-bit with the stored path —
+// it is still exact there, only the representation differs.
+func TestStreamAccumExactBelowCutoff(t *testing.T) {
+	g := &quantGen{s: 9}
+	stored := newLatAccum(false, 0)
+	stream := newLatAccum(true, 0)
+	for i := 0; i < streamExactCutoff-1; i++ {
+		x := g.next()
+		stored.add(x)
+		stream.add(x)
+	}
+	a, b := stored.stats(), stream.stats()
+	if a != b {
+		t.Fatalf("below cutoff, streaming != stored:\nstored:    %+v\nstreaming: %+v", a, b)
+	}
+}
+
+// TestStreamAccumAboveCutoff: past the cutoff the markers take over;
+// mean and max stay exact, quantiles stay within the P² contract.
+func TestStreamAccumAboveCutoff(t *testing.T) {
+	g := &quantGen{s: 3}
+	const n = 20_000
+	stream := newLatAccum(true, 0)
+	all := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		x := 0.001 + g.next()*0.01
+		stream.add(x)
+		all = append(all, x)
+	}
+	sort.Float64s(all)
+	got := stream.stats()
+	exact := latencyStats(all)
+	if math.Abs(got.MeanS-exact.MeanS) > 1e-12 {
+		t.Errorf("streaming mean %g != exact %g", got.MeanS, exact.MeanS)
+	}
+	if got.MaxS != exact.MaxS {
+		t.Errorf("streaming max %g != exact %g", got.MaxS, exact.MaxS)
+	}
+	for _, c := range []struct {
+		name       string
+		got, exact float64
+	}{
+		{"p50", got.P50S, exact.P50S},
+		{"p95", got.P95S, exact.P95S},
+		{"p99", got.P99S, exact.P99S},
+	} {
+		if rel := math.Abs(c.got-c.exact) / c.exact; rel > 0.05 {
+			t.Errorf("streaming %s %g vs exact %g (rel err %.3f)", c.name, c.got, c.exact, rel)
+		}
+	}
+}
+
+// TestServeStreamingMatchesStoredBelowCutoff: a whole Run whose
+// request count stays under the cutoff must produce identical latency
+// sections in both stats modes — streaming is a drop-in there.
+func TestServeStreamingMatchesStoredBelowCutoff(t *testing.T) {
+	base := Config{
+		Seed: 7, Spec: "TPUv5e", Set: "B", Pods: 2,
+		Policy: PolicyJSQ, Rate: 2000, HorizonS: 0.05, MaxBatch: 4,
+		Mix: hemultOnly(),
+	}
+	stored, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored.Requests >= streamExactCutoff {
+		t.Fatalf("test premise broken: %d requests >= cutoff %d", stored.Requests, streamExactCutoff)
+	}
+	scfg := base
+	scfg.Stats = StatsStreaming
+	streaming, err := Run(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored.Latency != streaming.Latency {
+		t.Errorf("latency sections differ below cutoff:\nstored:    %+v\nstreaming: %+v",
+			stored.Latency, streaming.Latency)
+	}
+	if stored.Requests != streaming.Requests || stored.Completed != streaming.Completed {
+		t.Errorf("request accounting differs between stats modes")
+	}
+}
+
+// TestServeStreamingParallelBitIdentical: satellite-3 requirement —
+// streaming-stats records are bit-identical across Parallel {1,4,8}.
+// The pricing worker pool must not leak nondeterminism into the
+// streaming path any more than the stored one.
+func TestServeStreamingParallelBitIdentical(t *testing.T) {
+	var ref []byte
+	for _, par := range []int{1, 4, 8} {
+		cfg := Config{
+			Seed: 7, Spec: "TPUv5e", Set: "B", Pods: 3,
+			Policy: PolicyJSQ, HorizonS: 0.02, MaxBatch: 4,
+			Mix: hemultOnly(), Parallel: par,
+			Stats: StatsStreaming,
+		}
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Config.Parallel = 0 // normalise the echoed knob before comparing
+		blob, _ := json.Marshal(r)
+		if ref == nil {
+			ref = blob
+		} else if string(blob) != string(ref) {
+			t.Fatalf("streaming record differs at Parallel=%d", par)
+		}
+	}
+}
+
+// TestStoredModeCapsStreamingLifts: the stored mode refuses scenarios
+// whose expected request count exceeds its memory cap; streaming mode
+// accepts the same scenario.
+func TestStoredModeCapsStreamingLifts(t *testing.T) {
+	cfg := Config{
+		Spec: "TPUv5e", Set: "B", Pods: 1,
+		Rate: float64(maxRequests) * 4, HorizonS: 1, MaxBatch: 4,
+		Mix: hemultOnly(),
+	}
+	if _, _, _, err := prepare(cfg); err == nil {
+		t.Fatal("stored mode accepted a scenario beyond its request cap")
+	}
+	cfg.Stats = StatsStreaming
+	if _, _, _, err := prepare(cfg); err != nil {
+		t.Fatalf("streaming mode rejected the same scenario: %v", err)
+	}
+}
